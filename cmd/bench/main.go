@@ -1,0 +1,53 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation section, plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	bench -list
+//	bench -run fig5          # one experiment
+//	bench -run fig           # every figure
+//	bench -run all -quick    # smoke-run everything with reduced parameters
+//
+// Figure experiments print both a per-point table and the aligned
+// latency-vs-throughput series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "substring selecting experiments (see -list)")
+		quick = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	experiments := bench.Find(*run)
+	if len(experiments) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no experiment matches %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		out, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,109 @@
+// Command history analyzes transaction histories in the paper's notation
+// (§3): it reports whether a history is serializable (multi-version
+// serialization graph acyclicity), which anomalies it exhibits, whether the
+// SI and WSI status oracles admit it, and — when serializable — an
+// equivalent serial witness.
+//
+// Usage:
+//
+//	history 'r1[x] r2[y] w1[y] w2[x] c1 c2'
+//	echo 'r1[x] w2[x] w1[x] c1 c2' | history
+//	history -demo        # run the paper's H1..H7
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/oracle"
+)
+
+// paperHistories are H1–H7 from §3 and §4.
+var paperHistories = []struct {
+	name string
+	h    string
+}{
+	{"H1", "r1[x] r2[y] w1[y] w2[x] c1 c2"},
+	{"H2", "r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2"},
+	{"H3", "r1[x] r2[x] w2[x] w1[x] c1 c2"},
+	{"H4", "r1[x] w2[x] w1[x] c1 c2"},
+	{"H5", "r1[x] w1[x] c1 w2[x] c2"},
+	{"H6", "r1[x] r2[z] w2[x] w1[y] c2 c1"},
+	{"H7", "r1[x] w1[y] c1 r2[z] w2[x] c2"},
+}
+
+func main() {
+	demo := flag.Bool("demo", false, "analyze the paper's example histories H1-H7")
+	flag.Parse()
+
+	if *demo {
+		for _, ph := range paperHistories {
+			fmt.Printf("--- %s: %s\n", ph.name, ph.h)
+			if err := analyze(ph.h); err != nil {
+				fmt.Fprintf(os.Stderr, "history: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	var input string
+	if flag.NArg() > 0 {
+		input = strings.Join(flag.Args(), " ")
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		input = strings.Join(lines, " ")
+	}
+	if strings.TrimSpace(input) == "" {
+		fmt.Fprintln(os.Stderr, "history: provide a history as arguments or on stdin, e.g. 'r1[x] w2[x] c1 c2'")
+		os.Exit(2)
+	}
+	if err := analyze(input); err != nil {
+		fmt.Fprintf(os.Stderr, "history: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func analyze(input string) error {
+	h, err := history.Parse(input)
+	if err != nil {
+		return err
+	}
+	g := history.BuildGraph(h)
+	if cycle := g.FindCycle(); cycle == nil {
+		fmt.Println("serializable:      yes")
+		if w, ok := history.SerialWitness(h); ok {
+			fmt.Printf("serial witness:    %s\n", w)
+		}
+	} else {
+		fmt.Println("serializable:      no")
+		parts := make([]string, len(cycle))
+		for i, e := range cycle {
+			parts[i] = e.String()
+		}
+		fmt.Printf("dependency cycle:  %s\n", strings.Join(parts, ", "))
+	}
+	fmt.Printf("write skew:        %v\n", history.HasWriteSkew(h))
+	fmt.Printf("lost update:       %v\n", history.HasLostUpdate(h))
+	for _, eng := range []oracle.Engine{oracle.SI, oracle.WSI} {
+		v, err := history.Admit(h, eng)
+		if err != nil {
+			return err
+		}
+		if v.Admitted {
+			fmt.Printf("admitted by %-4s   yes\n", eng.String()+":")
+		} else {
+			fmt.Printf("admitted by %-4s   no (txn%d aborts)\n", eng.String()+":", v.RejectedTxn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command oracle-server runs the status oracle as a TCP daemon — the
+// centralized commit arbiter of the paper's lock-free scheme. Clients
+// (cmd/txn, or the txn library via netsrv.Dial) connect to it to obtain
+// timestamps, submit commit requests, query transaction statuses, and
+// subscribe to the commit notification stream.
+//
+// Usage:
+//
+//	oracle-server -addr :7070 -engine wsi -wal /var/lib/wsi/wal.log
+//
+// With -wal the oracle persists every decision to a file-backed ledger and
+// recovers from it on restart, reproducing the Appendix A failover story on
+// a single machine. Without -wal the oracle is memory-only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/netsrv"
+	"repro/internal/oracle"
+	"repro/internal/tso"
+	"repro/internal/wal"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		engine  = flag.String("engine", "wsi", "conflict detection: wsi (serializable) or si")
+		walPath = flag.String("wal", "", "path to a file-backed WAL ledger (empty: no durability)")
+		maxRows = flag.Int("max-rows", 0, "bound on retained lastCommit rows (Algorithm 3 NR; 0 = unbounded)")
+		shards  = flag.Int("shards", 1, "critical-section shards (1 = paper's implementation)")
+		fsync   = flag.Bool("fsync", true, "fsync each WAL batch (with -wal)")
+	)
+	flag.Parse()
+
+	var eng oracle.Engine
+	switch *engine {
+	case "wsi":
+		eng = oracle.WSI
+	case "si":
+		eng = oracle.SI
+	default:
+		fmt.Fprintf(os.Stderr, "oracle-server: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	var (
+		so  *oracle.StatusOracle
+		err error
+	)
+	if *walPath != "" {
+		ledger, err := wal.OpenFileLedger(*walPath, *fsync)
+		if err != nil {
+			log.Fatalf("oracle-server: open wal: %v", err)
+		}
+		defer ledger.Close()
+		writer, err := wal.NewWriter(wal.DefaultConfig(), ledger)
+		if err != nil {
+			log.Fatalf("oracle-server: wal writer: %v", err)
+		}
+		defer writer.Close()
+		clock, err := tso.Recover(0, ledger, writer)
+		if err != nil {
+			log.Fatalf("oracle-server: recover timestamps: %v", err)
+		}
+		so, err = oracle.Recover(oracle.Config{
+			Engine: eng, MaxRows: *maxRows, Shards: *shards, WAL: writer, TSO: clock,
+		}, ledger)
+		if err != nil {
+			log.Fatalf("oracle-server: recover state: %v", err)
+		}
+		log.Printf("oracle-server: recovered state from %s", *walPath)
+	} else {
+		so, err = oracle.New(oracle.Config{
+			Engine: eng, MaxRows: *maxRows, Shards: *shards, TSO: tso.New(0, nil),
+		})
+		if err != nil {
+			log.Fatalf("oracle-server: %v", err)
+		}
+	}
+
+	srv := netsrv.NewServer(so)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("oracle-server: listen: %v", err)
+	}
+	log.Printf("oracle-server: %s engine serving on %s", eng, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("oracle-server: shutting down; stats: %+v", so.Stats())
+	if err := srv.Close(); err != nil {
+		log.Printf("oracle-server: close: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "A Critique of
+// Snapshot Isolation" (Gómez Ferro & Yabandeh, EuroSys 2012): lock-free
+// write-snapshot isolation — serializable transactions for multi-version
+// key-value stores at snapshot-isolation cost.
+//
+// The user-facing API lives in internal/core; see README.md for the
+// architecture, DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for the reproduced evaluation. The root
+// package holds the testing.B benchmarks (bench_test.go), one per
+// table/figure of the paper.
+package repro

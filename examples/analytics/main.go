@@ -1,0 +1,95 @@
+// Analytics: the §5.2 extension for transactions with very large read sets.
+// A reporting transaction scans an entire key range; enumerating every
+// scanned row in the commit request would be expensive, so it submits "a
+// compact, over-approximated representation of the read set" — here,
+// prefix buckets — while OLTP writers additionally publish the buckets of
+// their written rows. Bucket-level conflict detection is sound (the
+// analytics result stays serializable) at the cost of coarser conflicts.
+//
+// The program loads an orders table, runs a bucket-scan aggregation
+// concurrent with OLTP updates inside and outside the scanned range, and
+// shows which combinations abort.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+func main() {
+	sys, err := core.New(core.Options{
+		Engine:   core.WSI,
+		Bucketer: txn.PrefixBucketer{PrefixLen: 4}, // "ord0", "ord1", ... buckets
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Load: orders in two regions of the key space.
+	load, _ := sys.Begin()
+	for i := 0; i < 10; i++ {
+		load.Put(fmt.Sprintf("ord0%02d", i), []byte(fmt.Sprintf("%d", 10+i)))
+		load.Put(fmt.Sprintf("ord9%02d", i), []byte(fmt.Sprintf("%d", 90+i)))
+	}
+	if err := load.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Case 1: concurrent OLTP write inside the scanned range -> the
+	// analytics transaction must abort (its aggregate would be stale).
+	fmt.Println("case 1: OLTP update inside the scanned bucket range")
+	runReport(sys, true)
+
+	// Case 2: concurrent OLTP write outside the range -> no conflict.
+	fmt.Println("\ncase 2: OLTP update outside the scanned bucket range")
+	runReport(sys, false)
+}
+
+// runReport aggregates orders ord0* with a bucket scan while a concurrent
+// OLTP transaction updates either inside (ord0…) or outside (ord9…) the
+// scanned range, then tries to commit the report.
+func runReport(sys *core.System, conflictInside bool) {
+	report, err := sys.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := report.BucketScan("ord0", "ord1", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0
+	for _, kv := range rows {
+		var v int
+		fmt.Sscanf(string(kv.Value), "%d", &v)
+		sum += v
+	}
+	fmt.Printf("  scanned %d orders, sum=%d (read set: 1 bucket, not %d rows)\n",
+		len(rows), sum, len(rows))
+
+	// Concurrent OLTP update.
+	oltp, _ := sys.Begin()
+	key := "ord905"
+	if conflictInside {
+		key = "ord005"
+	}
+	oltp.Put(key, []byte("999"))
+	if err := oltp.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  concurrent OLTP update of %s committed\n", key)
+
+	// The report writes its aggregate and commits.
+	report.Put("report:ord0-sum", []byte(fmt.Sprintf("%d", sum)))
+	switch err := report.Commit(); {
+	case err == nil:
+		fmt.Println("  report committed: aggregate is consistent")
+	case core.IsConflict(err):
+		fmt.Println("  report ABORTED: a scanned bucket was modified (rerun the report)")
+	default:
+		log.Fatal(err)
+	}
+}

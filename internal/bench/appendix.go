@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// appendixWAL reproduces the Appendix A BookKeeper sizing argument: a
+// remote ledger that sustains a limited number of raw writes per second
+// can, with group commit (1 KB / 5 ms triggers), persist an order of
+// magnitude more commit records per second. We model the bookie with a
+// fixed per-write latency and compare entry throughput with and without
+// batching.
+func appendixWAL(entries int, ledgerLatency time.Duration) (string, error) {
+	run := func(cfg wal.Config) (perSec float64, batches int, err error) {
+		ledger := wal.NewMemLedger()
+		ledger.Latency = ledgerLatency
+		w, err := wal.NewWriter(cfg, ledger)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		// Model concurrent commit requests: 64 writers appending
+		// ~100-byte commit records (Appendix A: 32 bytes/row, ~10
+		// written rows per transaction).
+		const writers = 64
+		per := entries / writers
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rec := make([]byte, 100)
+				for i := 0; i < per; i++ {
+					if err := w.Append(rec); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		w.Close()
+		n, _ := ledger.NumBatches()
+		return float64(per*writers) / elapsed.Seconds(), n, nil
+	}
+
+	var b strings.Builder
+	b.WriteString(header("Appendix A — WAL group commit: raw vs batched persistence throughput"))
+	fmt.Fprintf(&b, "bookie write latency: %v; %d commit records of 100 B\n\n", ledgerLatency, entries)
+	fmt.Fprintf(&b, "%-28s %14s %10s %14s\n", "policy", "records/s", "batches", "records/batch")
+
+	// Unbatched: flush every record (BatchBytes below record size).
+	raw, rawBatches, err := run(wal.Config{BatchBytes: 1, BatchDelay: time.Microsecond})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-28s %14.0f %10d %14.1f\n", "no batching", raw, rawBatches, float64(entries)/float64(rawBatches))
+
+	// Paper policy: 1 KB or 5 ms.
+	batched, bBatches, err := run(wal.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-28s %14.0f %10d %14.1f\n", "1KB/5ms group commit", batched, bBatches, float64(entries)/float64(bBatches))
+	fmt.Fprintf(&b, "\nspeedup: %.1fx (paper: batching factor ~10 lifts 20K writes/s to 200K TPS)\n", batched/raw)
+
+	// Appendix A sizing arithmetic, restated mechanically.
+	b.WriteString("\nmemory sizing (Appendix A): 32 B/row keeps 32M rows in 1 GB;\n")
+	b.WriteString("at 8 rows/txn that is the last 4M transactions, i.e. 50 s of history\n")
+	b.WriteString("at 80K TPS — far above the hundreds of ms a commit takes.\n")
+	return b.String(), nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "appendix-wal",
+		Title: "Appendix A: WAL group-commit throughput and sizing",
+		Run: func(quick bool) (string, error) {
+			if quick {
+				return appendixWAL(2_000, 500*time.Microsecond)
+			}
+			return appendixWAL(20_000, time.Millisecond)
+		},
+	})
+}

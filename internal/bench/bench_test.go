@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/oracle"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"micro", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"appendix-wal",
+		"ablation-engines", "ablation-shards", "ablation-commitinfo", "ablation-maxrows",
+	}
+	all := All()
+	names := make(map[string]bool, len(all))
+	for _, e := range all {
+		names[e.Name] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("experiment %q missing from registry", n)
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("registry not sorted: %q >= %q", all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestFindSelectors(t *testing.T) {
+	if len(Find("all")) != len(All()) {
+		t.Fatal("'all' must select everything")
+	}
+	if len(Find("")) != len(All()) {
+		t.Fatal("empty selector must select everything")
+	}
+	figs := Find("fig")
+	if len(figs) != 6 {
+		t.Fatalf("'fig' selected %d experiments, want 6", len(figs))
+	}
+	if len(Find("nope-nothing")) != 0 {
+		t.Fatal("bogus selector matched")
+	}
+}
+
+// TestQuickRuns smoke-runs the cheap experiments end to end and sanity
+// checks their reports.
+func TestQuickRuns(t *testing.T) {
+	cases := []struct {
+		name     string
+		contains []string
+	}{
+		{"micro", []string{"start timestamp", "random read", "commit"}},
+		{"ablation-engines", []string{"SI", "WSI", "SSI", "Percolator", "abort-rate"}},
+		{"ablation-maxrows", []string{"unbounded", "false aborts"}},
+		{"ablation-commitinfo", []string{"query", "replica", "write-back"}},
+		{"appendix-wal", []string{"group commit", "speedup"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			es := Find(tc.name)
+			if len(es) != 1 {
+				t.Fatalf("selector %q matched %d", tc.name, len(es))
+			}
+			out, err := es[0].Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(out, want) {
+					t.Fatalf("report missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationMaxRowsCliff checks the experiment's substance, not just its
+// formatting: the unbounded oracle never false-aborts, the tightly bounded
+// one always does.
+func TestAblationMaxRowsCliff(t *testing.T) {
+	out, err := ablationMaxRows(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(label string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), label) {
+				return line
+			}
+		}
+		t.Fatalf("no %q row in:\n%s", label, out)
+		return ""
+	}
+	if line := find("unbounded"); !strings.Contains(line, "0/5") {
+		t.Fatalf("unbounded row should show zero false aborts: %q", line)
+	}
+	if line := find("16 "); !strings.Contains(line, "5/5") {
+		t.Fatalf("NR=16 row should show all-false-aborts: %q", line)
+	}
+}
+
+// TestFig5PointSmoke drives one tiny Figure 5 measurement through the real
+// TCP stack.
+func TestFig5PointSmoke(t *testing.T) {
+	tps, lat, err := fig5Point(oracle.WSI, 1, 8, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tps <= 0 || lat <= 0 {
+		t.Fatalf("degenerate fig5 point: tps=%v lat=%v", tps, lat)
+	}
+}
+
+// TestFigureSweepQuickShape runs a minimal uniform sweep and checks
+// monotone throughput growth before saturation.
+func TestFigureSweepQuickShape(t *testing.T) {
+	perf, aborts, err := figureSweep(cluster.Uniform, []int{5, 40}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(perf, "WSI") || !strings.Contains(aborts, "abort") {
+		t.Fatalf("sweep output malformed:\n%s\n%s", perf, aborts)
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/oracle"
+)
+
+// figureSweep runs the cluster simulation for both engines over a client
+// sweep and renders the latency-vs-throughput and abort-vs-throughput
+// curves.
+func figureSweep(dist cluster.Distribution, clients []int, quick bool) (perf, aborts string, err error) {
+	base := cluster.Defaults()
+	base.Distribution = dist
+	if quick {
+		base.Rows = 500_000
+		base.CacheRows = 5_000
+		base.WarmupMS = 5_000
+		base.MeasureMS = 15_000
+	}
+	lat := map[oracle.Engine]*metrics.Series{
+		oracle.WSI: {Name: "WSI"},
+		oracle.SI:  {Name: "SI"},
+	}
+	ab := map[oracle.Engine]*metrics.Series{
+		oracle.WSI: {Name: "WSI"},
+		oracle.SI:  {Name: "SI"},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %12s %14s %12s %12s %10s\n",
+		"engine", "clients", "TPS", "avg-lat(ms)", "p99(ms)", "abort-rate", "cache-hit")
+	for _, engine := range []oracle.Engine{oracle.WSI, oracle.SI} {
+		for _, c := range clients {
+			cfg := base
+			cfg.Engine = engine
+			cfg.Clients = c
+			r, err := cluster.Run(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			lat[engine].Add(r.TPS, r.AvgLatencyMS)
+			ab[engine].Add(r.TPS, r.AbortRate*100)
+			fmt.Fprintf(&b, "%-8s %-6d %12.1f %14.1f %12.1f %11.1f%% %9.1f%%\n",
+				engine, c, r.TPS, r.AvgLatencyMS, r.P99LatencyMS, r.AbortRate*100, r.CacheHitRate*100)
+		}
+	}
+	perf = b.String() + "\nlatency vs throughput:\n" +
+		metrics.Table("TPS", "lat(ms)", lat[oracle.WSI], lat[oracle.SI])
+	aborts = "abort rate vs throughput:\n" +
+		metrics.Table("TPS", "abort%", ab[oracle.WSI], ab[oracle.SI])
+	return perf, aborts, nil
+}
+
+// sweepClients returns the §6.4 client ladder, trimmed in quick mode.
+func sweepClients(quick bool) []int {
+	if quick {
+		return []int{5, 20, 80, 320}
+	}
+	return []int{5, 10, 20, 40, 80, 160, 320, 640}
+}
+
+func init() {
+	register(Experiment{
+		Name:  "fig6",
+		Title: "Figure 6: performance with uniform distribution (latency vs throughput)",
+		Run: func(quick bool) (string, error) {
+			perf, _, err := figureSweep(cluster.Uniform, sweepClients(quick), quick)
+			if err != nil {
+				return "", err
+			}
+			return header("Figure 6 — mixed workload, uniform row selection over 20M rows") + perf, nil
+		},
+	})
+	register(Experiment{
+		Name:  "fig7",
+		Title: "Figure 7: performance with zipfian distribution",
+		Run: func(quick bool) (string, error) {
+			perf, _, err := figureSweep(cluster.Zipfian, sweepClients(quick), quick)
+			if err != nil {
+				return "", err
+			}
+			return header("Figure 7 — mixed workload, zipfian row selection") + perf, nil
+		},
+	})
+	register(Experiment{
+		Name:  "fig8",
+		Title: "Figure 8: abort rate with zipfian distribution",
+		Run: func(quick bool) (string, error) {
+			_, aborts, err := figureSweep(cluster.Zipfian, sweepClients(quick), quick)
+			if err != nil {
+				return "", err
+			}
+			return header("Figure 8 — abort rate vs throughput, zipfian") + aborts, nil
+		},
+	})
+	register(Experiment{
+		Name:  "fig9",
+		Title: "Figure 9: performance with zipfianLatest distribution",
+		Run: func(quick bool) (string, error) {
+			perf, _, err := figureSweep(cluster.ZipfianLatest, sweepClients(quick), quick)
+			if err != nil {
+				return "", err
+			}
+			return header("Figure 9 — mixed workload, zipfianLatest row selection") + perf, nil
+		},
+	})
+	register(Experiment{
+		Name:  "fig10",
+		Title: "Figure 10: abort rate with zipfianLatest distribution",
+		Run: func(quick bool) (string, error) {
+			_, aborts, err := figureSweep(cluster.ZipfianLatest, sweepClients(quick), quick)
+			if err != nil {
+				return "", err
+			}
+			return header("Figure 10 — abort rate vs throughput, zipfianLatest") + aborts, nil
+		},
+	})
+}

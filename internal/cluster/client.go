@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// client is one closed-loop load generator: it runs one transaction at a
+// time (§6.4: "the client runs one transaction at a time"), immediately
+// starting the next when the previous finishes — aborted transactions count
+// toward the abort rate and are replaced by fresh ones, as in YCSB.
+type client struct {
+	m   *model
+	rng *rand.Rand
+
+	txn     workload.Txn
+	opIdx   int
+	startTS uint64
+	beginAt float64
+}
+
+// begin starts a new transaction: a start-timestamp round trip, then the
+// operations.
+func (c *client) begin() {
+	c.beginAt = c.m.sim.Now()
+	c.m.sim.After(c.m.cfg.StartTSMS, func() {
+		ts, err := c.m.so.Begin()
+		if err != nil {
+			return // timestamp oracle failed; client stops
+		}
+		c.startTS = ts
+		c.txn = c.m.mix.Next(c.rng)
+		c.opIdx = 0
+		c.nextOp()
+	})
+}
+
+// nextOp executes the current operation against its region server and
+// advances.
+func (c *client) nextOp() {
+	if c.opIdx >= len(c.txn.Ops) {
+		c.commit()
+		return
+	}
+	op := c.txn.Ops[c.opIdx]
+	c.opIdx++
+	srv := c.m.serverOf(op.Row)
+	key := rowKey(op.Row)
+	cfg := &c.m.cfg
+	srv.handlers.Acquire(func(release func()) {
+		var service float64
+		if op.Kind == workload.OpRead {
+			if srv.cache.CacheTouch(key) {
+				service = cfg.CPUPerOpMS + cfg.ReadCacheMS
+				if c.m.measuring {
+					c.m.hits++
+				}
+			} else {
+				service = cfg.CPUPerOpMS + cfg.ReadDiskMS
+				if c.m.measuring {
+					c.m.misses++
+				}
+			}
+		} else {
+			// Writes land in the memstore, making the row
+			// cache-resident for subsequent reads.
+			srv.cache.CacheTouch(key)
+			service = cfg.CPUPerOpMS + cfg.WriteMS
+		}
+		if c.m.measuring {
+			srv.busyMS += service
+		}
+		c.m.sim.After(service, func() {
+			release()
+			c.nextOp()
+		})
+	})
+}
+
+// commit submits the transaction to the status oracle. Read-only
+// transactions skip the conflict check and the WAL (§5.1) and respond after
+// a plain round trip; write transactions pay the WAL group-commit latency
+// and the oracle's critical section.
+func (c *client) commit() {
+	cfg := &c.m.cfg
+	req := oracle.CommitRequest{StartTS: c.startTS}
+	for _, row := range c.txn.WriteRows() {
+		req.WriteSet = append(req.WriteSet, oracle.HashRow(rowKey(row)))
+	}
+	if len(req.WriteSet) > 0 && cfg.Engine == oracle.WSI {
+		for _, row := range c.txn.ReadRows() {
+			req.ReadSet = append(req.ReadSet, oracle.HashRow(rowKey(row)))
+		}
+	}
+	if len(req.WriteSet) == 0 {
+		// Read-only: the §5.1 fast path costs one message round trip
+		// (no WAL write, no conflict check).
+		c.m.sim.After(cfg.StartTSMS, func() {
+			c.finish(true)
+		})
+		return
+	}
+	service := cfg.SOServiceMS
+	if cfg.Engine == oracle.WSI {
+		service *= cfg.WSIServiceFactor
+	}
+	// The WAL group commit dominates the commit round trip and is
+	// pipelined outside the critical section; the critical section
+	// itself serializes commit checks (§6.3).
+	c.m.soRes.Acquire(func(release func()) {
+		res, err := c.m.so.Commit(req)
+		c.m.sim.After(service, func() {
+			release()
+			if err != nil {
+				return
+			}
+			c.m.sim.After(cfg.CommitMS, func() {
+				c.finish(res.Committed)
+			})
+		})
+	})
+}
+
+// finish records the outcome and starts the next transaction.
+func (c *client) finish(committed bool) {
+	if c.m.measuring {
+		if committed {
+			c.m.committed++
+			latencyUS := (c.m.sim.Now() - c.beginAt) * 1000
+			c.m.latency.Record(int64(latencyUS))
+		} else {
+			c.m.aborted++
+		}
+	}
+	c.begin()
+}

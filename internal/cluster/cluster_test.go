@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// smallCfg returns a fast configuration for unit tests: a scaled-down row
+// space and short horizons, preserving the topology's qualitative shape.
+func smallCfg() Config {
+	cfg := Defaults()
+	cfg.Rows = 100_000
+	cfg.CacheRows = 2_000
+	cfg.Clients = 40
+	cfg.WarmupMS = 2_000
+	cfg.MeasureMS = 5_000
+	return cfg
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunProducesTraffic(t *testing.T) {
+	r := run(t, smallCfg())
+	if r.Committed == 0 {
+		t.Fatal("no committed transactions")
+	}
+	if r.TPS <= 0 || r.AvgLatencyMS <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.P99LatencyMS < r.AvgLatencyMS {
+		t.Fatalf("p99 (%v) below mean (%v)", r.P99LatencyMS, r.AvgLatencyMS)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg()
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := smallCfg()
+	a := run(t, cfg)
+	cfg.Seed = 999
+	b := run(t, cfg)
+	if a.Committed == b.Committed && a.AvgLatencyMS == b.AvgLatencyMS {
+		t.Fatal("different seeds produced identical runs — PRNG unused?")
+	}
+}
+
+// TestZipfianOutperformsUniform reproduces the §6.5 observation: skewed
+// access is served mostly from block caches, so zipfian gets better
+// throughput and latency than uniform at the same client count.
+func TestZipfianOutperformsUniform(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Distribution = Uniform
+	uni := run(t, cfg)
+	cfg.Distribution = Zipfian
+	zipf := run(t, cfg)
+	if zipf.TPS <= uni.TPS {
+		t.Fatalf("zipfian TPS %.1f not above uniform %.1f", zipf.TPS, uni.TPS)
+	}
+	if zipf.AvgLatencyMS >= uni.AvgLatencyMS {
+		t.Fatalf("zipfian latency %.1f not below uniform %.1f", zipf.AvgLatencyMS, uni.AvgLatencyMS)
+	}
+	if zipf.CacheHitRate <= uni.CacheHitRate {
+		t.Fatalf("zipfian hit rate %.2f not above uniform %.2f", zipf.CacheHitRate, uni.CacheHitRate)
+	}
+}
+
+// TestLatestHotspotUnderperformsZipfian reproduces the §6.5 zipfianLatest
+// result: popularity clustered at the key-space tail lands on one region
+// server and throughput drops below zipfian.
+func TestLatestHotspotUnderperformsZipfian(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Distribution = Zipfian
+	zipf := run(t, cfg)
+	cfg.Distribution = ZipfianLatest
+	latest := run(t, cfg)
+	if latest.TPS >= zipf.TPS {
+		t.Fatalf("zipfianLatest TPS %.1f not below zipfian %.1f", latest.TPS, zipf.TPS)
+	}
+}
+
+// TestUniformAbortRateNearZero: §6.4 — uniform selection over a large row
+// space makes conflicts (and thus aborts) vanishingly rare.
+func TestUniformAbortRateNearZero(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rows = 2_000_000
+	cfg.Distribution = Uniform
+	r := run(t, cfg)
+	if r.AbortRate > 0.01 {
+		t.Fatalf("uniform abort rate %.4f, want ~0", r.AbortRate)
+	}
+}
+
+// TestSkewRaisesAbortRate: Figures 8/10 — hot rows create conflicts.
+func TestSkewRaisesAbortRate(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Distribution = Uniform
+	uni := run(t, cfg)
+	cfg.Distribution = Zipfian
+	zipf := run(t, cfg)
+	if zipf.AbortRate <= uni.AbortRate {
+		t.Fatalf("zipfian abort %.4f not above uniform %.4f", zipf.AbortRate, uni.AbortRate)
+	}
+}
+
+// TestWSIAbortSlightlyAboveSIUnderLatest: Figure 10 — under zipfianLatest
+// the read set is drawn from recently written data, so WSI aborts a bit
+// more than SI.
+func TestWSIAbortSlightlyAboveSIUnderLatest(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Distribution = ZipfianLatest
+	cfg.Engine = oracle.SI
+	si := run(t, cfg)
+	cfg.Engine = oracle.WSI
+	wsi := run(t, cfg)
+	if wsi.AbortRate < si.AbortRate {
+		t.Fatalf("WSI abort %.4f below SI %.4f under zipfianLatest", wsi.AbortRate, si.AbortRate)
+	}
+	// "the difference is negligible": within a few points.
+	if wsi.AbortRate-si.AbortRate > 0.10 {
+		t.Fatalf("WSI abort %.4f far above SI %.4f — not 'negligible'", wsi.AbortRate, si.AbortRate)
+	}
+}
+
+// TestThroughputSaturates: adding clients beyond saturation must not keep
+// scaling throughput linearly (Figure 6's knee).
+func TestThroughputSaturates(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Distribution = Uniform
+	cfg.Clients = 20
+	low := run(t, cfg)
+	cfg.Clients = 320
+	high := run(t, cfg)
+	if high.TPS > low.TPS*16*0.8 {
+		t.Fatalf("no saturation: 16x clients gave %.1f -> %.1f TPS", low.TPS, high.TPS)
+	}
+	if high.AvgLatencyMS <= low.AvgLatencyMS {
+		t.Fatalf("queueing should raise latency: %.1f -> %.1f", low.AvgLatencyMS, high.AvgLatencyMS)
+	}
+}
+
+// TestReadOnlyTransactionsNeverAbort: §5.1 holds inside the full model.
+func TestReadOnlyTransactionsNeverAbort(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Mix = workload.MixConfig{MaxRows: 20, ReadOnlyFraction: 1.0, WriteFraction: 0}
+	r := run(t, cfg)
+	if r.Aborted != 0 {
+		t.Fatalf("read-only workload aborted %d transactions", r.Aborted)
+	}
+	if r.Committed == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+// TestHotspotShowsInUtilization verifies the mechanism behind Figure 9: a
+// zipfianLatest run drives at least one server toward saturation while the
+// mean stays low, whereas scrambled zipfian keeps the load balanced.
+func TestHotspotShowsInUtilization(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Clients = 160
+	cfg.Distribution = Zipfian
+	zipf := run(t, cfg)
+	cfg.Distribution = ZipfianLatest
+	latest := run(t, cfg)
+
+	zipfImbalance := zipf.MaxServerUtilization / (zipf.MeanServerUtilization + 1e-9)
+	latestImbalance := latest.MaxServerUtilization / (latest.MeanServerUtilization + 1e-9)
+	if latestImbalance <= zipfImbalance {
+		t.Fatalf("latest imbalance %.2f not above zipfian %.2f", latestImbalance, zipfImbalance)
+	}
+	if latest.MaxServerUtilization < 0.7 {
+		t.Fatalf("hot server utilization %.2f — no hotspot?", latest.MaxServerUtilization)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Clients = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	cfg = smallCfg()
+	cfg.Distribution = Distribution(99)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Zipfian, ZipfianLatest, Distribution(9)} {
+		if d.String() == "" {
+			t.Fatalf("empty string for %d", uint8(d))
+		}
+	}
+}
+
+func TestServerOfRangePartitioning(t *testing.T) {
+	cfg := smallCfg()
+	m := &model{cfg: cfg}
+	for i := 0; i < cfg.Servers; i++ {
+		m.servers = append(m.servers, &server{})
+	}
+	if m.serverOf(0) != m.servers[0] {
+		t.Fatal("row 0 not on server 0")
+	}
+	if m.serverOf(cfg.Rows-1) != m.servers[cfg.Servers-1] {
+		t.Fatal("last row not on last server")
+	}
+	// Contiguity: rows within one shard-sized range share a server.
+	per := cfg.Rows / int64(cfg.Servers)
+	if m.serverOf(per/2) != m.servers[0] {
+		t.Fatal("range partitioning broken")
+	}
+}

@@ -1,0 +1,115 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oracle"
+)
+
+// TestPropertyEquivalentReflexive: every history is equivalent to itself.
+func TestPropertyEquivalentReflexive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHistory(rng, 2+rng.Intn(3), 2+rng.Intn(3), 8+rng.Intn(16))
+		return Equivalent(h, h)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEquivalentSymmetric: Equivalent is symmetric across pairs of
+// random histories.
+func TestPropertyEquivalentSymmetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomHistory(rng, 3, 3, 12)
+		b := randomHistory(rng, 3, 3, 12)
+		return Equivalent(a, b) == Equivalent(b, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWitnessIdempotent: the serial witness of a serial witness is
+// equivalent to the original.
+func TestPropertyWitnessIdempotent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHistory(rng, 2+rng.Intn(3), 2+rng.Intn(3), 10+rng.Intn(10))
+		w1, ok := SerialWitness(h)
+		if !ok {
+			return true // non-serializable: nothing to check
+		}
+		w2, ok := SerialWitness(w1)
+		if !ok {
+			return false // a serial history is trivially serializable
+		}
+		return Equivalent(h, w2) && w2.IsSerial()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySerialHistoriesAlwaysSerializable: the checker never flags a
+// serial history.
+func TestPropertySerialHistoriesAlwaysSerializable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a serial history: transactions run whole, one by one.
+		var h History
+		for id := 1; id <= 2+rng.Intn(3); id++ {
+			for o := 0; o < 1+rng.Intn(4); o++ {
+				item := string(rune('a' + rng.Intn(3)))
+				typ := OpRead
+				if rng.Intn(2) == 0 {
+					typ = OpWrite
+				}
+				h = append(h, Op{Type: typ, Txn: id, Item: item})
+			}
+			h = append(h, Op{Type: OpCommit, Txn: id})
+		}
+		if !h.IsSerial() {
+			return false
+		}
+		return Serializable(h)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySerialAdmittedByBoth: both engines admit every serial
+// history (no transaction is ever concurrent with another, so no conflicts
+// exist).
+func TestPropertySerialAdmittedByBoth(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h History
+		for id := 1; id <= 2+rng.Intn(3); id++ {
+			for o := 0; o < 1+rng.Intn(3); o++ {
+				item := string(rune('a' + rng.Intn(3)))
+				typ := OpRead
+				if rng.Intn(2) == 0 {
+					typ = OpWrite
+				}
+				h = append(h, Op{Type: typ, Txn: id, Item: item})
+			}
+			h = append(h, Op{Type: OpCommit, Txn: id})
+		}
+		for _, engine := range []oracle.Engine{oracle.SI, oracle.WSI} {
+			v, err := Admit(h, engine)
+			if err != nil || !v.Admitted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

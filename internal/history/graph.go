@@ -1,0 +1,234 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeKind labels a dependency edge of the multi-version serialization
+// graph (Adya's DSG, §7.1).
+type EdgeKind uint8
+
+// Dependency kinds.
+const (
+	// EdgeWW: Ti installs a version of x, Tj installs the next one.
+	EdgeWW EdgeKind = iota
+	// EdgeWR: Tj reads the version Ti installed.
+	EdgeWR
+	// EdgeRW (anti-dependency): Ti reads a version of x, Tj installs
+	// the next version of x.
+	EdgeRW
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeWW:
+		return "ww"
+	case EdgeWR:
+		return "wr"
+	case EdgeRW:
+		return "rw"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is one dependency between committed transactions.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	Item     string
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("%d -%s[%s]-> %d", e.From, e.Kind, e.Item, e.To)
+}
+
+// Graph is the multi-version serialization graph of a history's committed
+// transactions.
+type Graph struct {
+	Nodes []int
+	Edges []Edge
+	adj   map[int][]int
+}
+
+// BuildGraph constructs the MVSG from snapshot-read semantics:
+//
+//	ww: consecutive writers in each item's version order;
+//	wr: reader depends on the writer of the version it observed;
+//	rw: reader anti-depends on the writer of the next version after the
+//	    one it observed (Adya's anti-dependency, §7.1).
+//
+// The initial version (writer 0) participates as a source only; it cannot
+// be part of a cycle and is omitted from the node set.
+func BuildGraph(h History) *Graph {
+	s := Evaluate(h)
+	g := &Graph{adj: make(map[int][]int)}
+	committed := make(map[int]bool)
+	for _, id := range h.Committed() {
+		committed[id] = true
+		g.Nodes = append(g.Nodes, id)
+	}
+	sort.Ints(g.Nodes)
+
+	addEdge := func(from, to int, kind EdgeKind, item string) {
+		if from == to || from == 0 || to == 0 {
+			return
+		}
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind, Item: item})
+		g.adj[from] = append(g.adj[from], to)
+	}
+
+	// ww edges along each item's version order.
+	for _, item := range s.Items() {
+		vo := s.VersionOrder(item)
+		for i := 1; i < len(vo); i++ {
+			addEdge(vo[i-1], vo[i], EdgeWW, item)
+		}
+	}
+	// wr and rw edges from each committed read.
+	for i, op := range h {
+		if op.Type != OpRead || !committed[op.Txn] {
+			continue
+		}
+		w, _ := s.ReadsFrom(i)
+		if w != op.Txn {
+			addEdge(w, op.Txn, EdgeWR, op.Item)
+		}
+		// Anti-dependency to the writer of the next version.
+		vo := s.VersionOrder(op.Item)
+		next := -1
+		if w == 0 {
+			if len(vo) > 0 {
+				next = vo[0]
+			}
+		} else {
+			for k, id := range vo {
+				if id == w && k+1 < len(vo) {
+					next = vo[k+1]
+					break
+				}
+			}
+		}
+		if next > 0 && next != op.Txn {
+			addEdge(op.Txn, next, EdgeRW, op.Item)
+		}
+	}
+	return g
+}
+
+// FindCycle returns one cycle as an edge sequence, or nil if the graph is
+// acyclic.
+func (g *Graph) FindCycle() []Edge {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	parentEdge := make(map[int]Edge)
+	var cycle []Edge
+
+	edgesFrom := make(map[int][]Edge)
+	for _, e := range g.Edges {
+		edgesFrom[e.From] = append(edgesFrom[e.From], e)
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, e := range edgesFrom[u] {
+			v := e.To
+			switch color[v] {
+			case white:
+				parentEdge[v] = e
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a cycle: walk back from u to v.
+				cycle = []Edge{e}
+				for cur := u; cur != v; {
+					pe := parentEdge[cur]
+					cycle = append([]Edge{pe}, cycle...)
+					cur = pe.From
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range g.Nodes {
+		if color[n] == white {
+			if dfs(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// SerialOrder returns a topological order of the committed transactions —
+// a witness serial execution — or ok=false when the graph is cyclic.
+func (g *Graph) SerialOrder() (order []int, ok bool) {
+	indeg := make(map[int]int)
+	for _, n := range g.Nodes {
+		indeg[n] = 0
+	}
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	var ready []int
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Ints(ready)
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, e := range g.Edges {
+			if e.From != n {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+				sort.Ints(ready)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, false
+	}
+	return order, true
+}
+
+// Serializable reports whether the history is (conflict-)serializable:
+// its MVSG is acyclic (§3, §7.1).
+func Serializable(h History) bool {
+	return BuildGraph(h).FindCycle() == nil
+}
+
+// SerialWitness returns a serial history equivalent to h when h is
+// serializable: committed transactions laid out whole in a topological
+// order of the MVSG. ok is false when h is not serializable.
+func SerialWitness(h History) (History, bool) {
+	g := BuildGraph(h)
+	order, ok := g.SerialOrder()
+	if !ok {
+		return nil, false
+	}
+	var out History
+	for _, id := range order {
+		for _, op := range h {
+			if op.Txn == id && op.Type != OpAbort {
+				out = append(out, op)
+			}
+		}
+	}
+	return out, true
+}

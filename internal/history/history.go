@@ -1,0 +1,221 @@
+// Package history implements the formal machinery of the paper's theory
+// sections (§3, §4): the Berenson et al. history notation ("r1[x] w1[y]
+// c1"), multi-version snapshot semantics for evaluating which version each
+// read observes, a multi-version serialization graph (MVSG) with cycle
+// detection to decide serializability, admissibility of a history under an
+// isolation engine (by replaying it through the real status oracle), and
+// classifiers for the anomalies the paper discusses (write skew, lost
+// update, dirty read, fuzzy read).
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpType is the kind of a history operation.
+type OpType uint8
+
+// Operation kinds in Berenson et al. notation.
+const (
+	// OpRead is "ri[x]": transaction i reads item x.
+	OpRead OpType = iota
+	// OpWrite is "wi[x]": transaction i writes item x.
+	OpWrite
+	// OpCommit is "ci".
+	OpCommit
+	// OpAbort is "ai".
+	OpAbort
+)
+
+// Op is one operation of a history.
+type Op struct {
+	Type OpType
+	Txn  int
+	Item string // empty for commit/abort
+}
+
+// String renders the operation in paper notation.
+func (o Op) String() string {
+	switch o.Type {
+	case OpRead:
+		return fmt.Sprintf("r%d[%s]", o.Txn, o.Item)
+	case OpWrite:
+		return fmt.Sprintf("w%d[%s]", o.Txn, o.Item)
+	case OpCommit:
+		return fmt.Sprintf("c%d", o.Txn)
+	case OpAbort:
+		return fmt.Sprintf("a%d", o.Txn)
+	default:
+		return fmt.Sprintf("?%d", o.Txn)
+	}
+}
+
+// History is a linear ordering of transaction operations (§3).
+type History []Op
+
+// String renders the history in paper notation.
+func (h History) String() string {
+	parts := make([]string, len(h))
+	for i, o := range h {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse reads a history in paper notation: whitespace-separated tokens of
+// the forms r<n>[<item>], w<n>[<item>], c<n>, a<n>.
+func Parse(s string) (History, error) {
+	var h History
+	for _, tok := range strings.Fields(s) {
+		op, err := parseToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		h = append(h, op)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustParse is Parse for statically known histories; it panics on error.
+func MustParse(s string) History {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func parseToken(tok string) (Op, error) {
+	if len(tok) < 2 {
+		return Op{}, fmt.Errorf("history: bad token %q", tok)
+	}
+	var typ OpType
+	switch tok[0] {
+	case 'r':
+		typ = OpRead
+	case 'w':
+		typ = OpWrite
+	case 'c':
+		typ = OpCommit
+	case 'a':
+		typ = OpAbort
+	default:
+		return Op{}, fmt.Errorf("history: bad operation %q", tok)
+	}
+	rest := tok[1:]
+	if typ == OpCommit || typ == OpAbort {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return Op{}, fmt.Errorf("history: bad transaction id in %q", tok)
+		}
+		return Op{Type: typ, Txn: n}, nil
+	}
+	open := strings.IndexByte(rest, '[')
+	if open < 1 || !strings.HasSuffix(rest, "]") {
+		return Op{}, fmt.Errorf("history: bad item in %q", tok)
+	}
+	n, err := strconv.Atoi(rest[:open])
+	if err != nil {
+		return Op{}, fmt.Errorf("history: bad transaction id in %q", tok)
+	}
+	item := rest[open+1 : len(rest)-1]
+	if item == "" {
+		return Op{}, fmt.Errorf("history: empty item in %q", tok)
+	}
+	return Op{Type: typ, Txn: n, Item: item}, nil
+}
+
+// Validate checks structural sanity: no operations after a transaction's
+// commit/abort, and at most one commit/abort per transaction.
+func (h History) Validate() error {
+	ended := make(map[int]bool)
+	for i, op := range h {
+		if ended[op.Txn] {
+			return fmt.Errorf("history: op %d (%s) after transaction %d ended", i, op, op.Txn)
+		}
+		if op.Type == OpCommit || op.Type == OpAbort {
+			ended[op.Txn] = true
+		}
+	}
+	return nil
+}
+
+// Txns returns the transaction ids appearing in the history, in order of
+// first appearance.
+func (h History) Txns() []int {
+	seen := make(map[int]bool)
+	var ids []int
+	for _, op := range h {
+		if !seen[op.Txn] {
+			seen[op.Txn] = true
+			ids = append(ids, op.Txn)
+		}
+	}
+	return ids
+}
+
+// txnInfo aggregates per-transaction positions.
+type txnInfo struct {
+	id        int
+	startIdx  int // index of first operation
+	commitIdx int // index of commit op, -1 if none
+	abortIdx  int // index of abort op, -1 if none
+}
+
+func (h History) txnInfos() map[int]*txnInfo {
+	infos := make(map[int]*txnInfo)
+	for i, op := range h {
+		ti, ok := infos[op.Txn]
+		if !ok {
+			ti = &txnInfo{id: op.Txn, startIdx: i, commitIdx: -1, abortIdx: -1}
+			infos[op.Txn] = ti
+		}
+		switch op.Type {
+		case OpCommit:
+			ti.commitIdx = i
+		case OpAbort:
+			ti.abortIdx = i
+		}
+	}
+	return infos
+}
+
+// Committed returns the ids of committed transactions in commit order.
+func (h History) Committed() []int {
+	var ids []int
+	for _, op := range h {
+		if op.Type == OpCommit {
+			ids = append(ids, op.Txn)
+		}
+	}
+	return ids
+}
+
+// IsSerial reports whether transactions never interleave (§3: "a history is
+// serial if its transactions are not concurrent").
+func (h History) IsSerial() bool {
+	ended := make(map[int]bool)
+	cur := -1
+	started := make(map[int]bool)
+	for _, op := range h {
+		if op.Txn != cur {
+			if started[op.Txn] {
+				return false // resumed an interleaved transaction
+			}
+			if cur != -1 && !ended[cur] {
+				return false // previous transaction still open
+			}
+			cur = op.Txn
+			started[cur] = true
+		}
+		if op.Type == OpCommit || op.Type == OpAbort {
+			ended[op.Txn] = true
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+// The histories of §3 and §4, verbatim from the paper.
+var (
+	h1 = MustParse("r1[x] r2[y] w1[y] w2[x] c1 c2")             // §3.1
+	h2 = MustParse("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2") // §3.1 write skew
+	h3 = MustParse("r1[x] r2[x] w2[x] w1[x] c1 c2")             // §3.2 lost update
+	h4 = MustParse("r1[x] w2[x] w1[x] c1 c2")                   // §3.2 blind write
+	h5 = MustParse("r1[x] w1[x] c1 w2[x] c2")                   // §3.2 serial form of H4
+	h6 = MustParse("r1[x] r2[z] w2[x] w1[y] c2 c1")             // §4.3
+	h7 = MustParse("r1[x] w1[y] c1 r2[z] w2[x] c2")             // §4.3 serial form of H6
+)
+
+// TestPaperHistories replays every history from the paper through the real
+// status oracle under both engines and checks the paper's claims about
+// which isolation level admits which history.
+func TestPaperHistories(t *testing.T) {
+	cases := []struct {
+		name     string
+		h        History
+		underSI  bool // admitted under snapshot isolation?
+		underWSI bool // admitted under write-snapshot isolation?
+	}{
+		// H1: disjoint write sets, so SI admits it; under WSI txn1
+		// commits during txn2's lifetime writing y which txn2 read.
+		{"H1", h1, true, false},
+		// H2 (write skew): same structure; SI admits, WSI rejects.
+		{"H2", h2, true, false},
+		// H3 (lost update): both write x -> SI rejects; txn1 commits
+		// a write of x read by txn2 -> WSI rejects too.
+		{"H3", h3, false, false},
+		// H4: both write x -> SI rejects (unnecessarily, §3.2); txn2
+		// reads nothing, txn1's read of x sees no conflicting commit
+		// during its lifetime -> WSI admits (§4.3).
+		{"H4", h4, true /* see below: SI rejects */, true},
+		// H5, H7: serial histories are admitted by everything.
+		{"H5", h5, true, true},
+		{"H7", h7, true, true},
+		// H6: serializable but WSI rejects it (§4.3: unnecessary
+		// abort); disjoint write sets so SI admits it.
+		{"H6", h6, true, false},
+	}
+	// Fix up H4's SI expectation: the paper's point is precisely that
+	// SI *prevents* H4 although it is serializable.
+	cases[3].underSI = false
+
+	for _, tc := range cases {
+		si := MustAdmit(tc.h, oracle.SI)
+		if si.Admitted != tc.underSI {
+			t.Errorf("%s under SI: admitted=%v, want %v", tc.name, si.Admitted, tc.underSI)
+		}
+		wsi := MustAdmit(tc.h, oracle.WSI)
+		if wsi.Admitted != tc.underWSI {
+			t.Errorf("%s under WSI: admitted=%v, want %v", tc.name, wsi.Admitted, tc.underWSI)
+		}
+	}
+}
+
+// TestPaperSerializability checks the serializability verdicts the paper
+// assigns to its example histories.
+func TestPaperSerializability(t *testing.T) {
+	cases := []struct {
+		name         string
+		h            History
+		serializable bool
+	}{
+		{"H1", h1, false}, // §3.1: "histories that do not have serial equivalence"
+		{"H2", h2, false}, // write skew violates the constraint
+		{"H3", h3, false}, // lost update: "the following unserializable history"
+		{"H4", h4, true},  // §3.2: equivalent to serial H5
+		{"H5", h5, true},
+		{"H6", h6, true}, // §4.3: "the history is serializable as shown in H7"
+		{"H7", h7, true},
+	}
+	for _, tc := range cases {
+		if got := Serializable(tc.h); got != tc.serializable {
+			g := BuildGraph(tc.h)
+			t.Errorf("%s: serializable=%v, want %v (cycle: %v)", tc.name, got, tc.serializable, g.FindCycle())
+		}
+	}
+}
+
+// TestH4EquivalentToH5 reproduces the §3.2 argument that H4 is equivalent
+// to the serial history H5: same committed transactions, same reads, same
+// final writer of x.
+func TestH4EquivalentToH5(t *testing.T) {
+	if !Equivalent(h4, h5) {
+		t.Fatalf("H4 and H5 should be equivalent")
+	}
+	if Equivalent(h3, h4) {
+		t.Fatalf("H3 and H4 must differ (H3's txn2 reads x)")
+	}
+}
+
+// TestH6WitnessMatchesH7 checks that the serial witness our graph machinery
+// produces for H6 is equivalent to the paper's H7.
+func TestH6WitnessMatchesH7(t *testing.T) {
+	w, ok := SerialWitness(h6)
+	if !ok {
+		t.Fatalf("H6 is serializable; expected a witness")
+	}
+	if !w.IsSerial() {
+		t.Fatalf("witness %q is not serial", w)
+	}
+	if !Equivalent(h6, w) {
+		t.Fatalf("witness %q not equivalent to H6", w)
+	}
+	if !Equivalent(h7, w) {
+		t.Fatalf("witness %q not equivalent to H7", w)
+	}
+}
+
+// TestPaperAnomalies checks the anomaly classifiers against the paper's
+// example histories.
+func TestPaperAnomalies(t *testing.T) {
+	if !HasWriteSkew(h2) {
+		t.Errorf("H2 must exhibit write skew")
+	}
+	if HasWriteSkew(h4) || HasWriteSkew(h5) {
+		t.Errorf("H4/H5 must not exhibit write skew")
+	}
+	if !HasLostUpdate(h3) {
+		t.Errorf("H3 must exhibit a lost update")
+	}
+	// §3.2: "in History 3 if transaction txn2 does not read x (i.e.,
+	// blind write to x), such as in History 4, the lost update anomaly
+	// does not manifest."
+	if HasLostUpdate(h4) {
+		t.Errorf("H4 must not exhibit a lost update")
+	}
+	for _, h := range []History{h1, h2, h3, h4, h5, h6, h7} {
+		if HasDirtyRead(h) {
+			t.Errorf("%q: snapshot reads can never be dirty", h)
+		}
+		if HasFuzzyRead(h) {
+			t.Errorf("%q: snapshot reads can never be fuzzy", h)
+		}
+	}
+}
+
+// TestWriteSkewConstraintViolation walks the §3.1 x+y>0 example: both
+// transactions validate the constraint against their snapshot, yet the SI
+// outcome violates it. Under WSI one of them aborts.
+func TestWriteSkewConstraintViolation(t *testing.T) {
+	si := MustAdmit(h2, oracle.SI)
+	if !si.Admitted {
+		t.Fatalf("SI must admit the write-skew history H2")
+	}
+	wsi := MustAdmit(h2, oracle.WSI)
+	if wsi.Admitted {
+		t.Fatalf("WSI must reject the write-skew history H2")
+	}
+	if wsi.RejectedTxn != 2 {
+		t.Fatalf("WSI should reject txn2 (the later committer), got txn%d", wsi.RejectedTxn)
+	}
+}

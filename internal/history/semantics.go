@@ -1,0 +1,217 @@
+package history
+
+import "sort"
+
+// Semantics computes, under multi-version snapshot reads, which version
+// every read observes. Both isolation levels in the paper read from the
+// snapshot defined by the transaction's start timestamp (§2, §4.1), so a
+// read r_i[x] observes:
+//
+//   - transaction i's own most recent write of x, if any precedes the read;
+//   - otherwise the version of x written by the committed transaction with
+//     the largest commit index smaller than i's start index;
+//   - otherwise the initial version, denoted by writer id 0.
+//
+// Versions of x are ordered by their writers' commit order; uncommitted and
+// aborted transactions install no versions.
+type Semantics struct {
+	h     History
+	infos map[int]*txnInfo
+	// versionOrder[x] lists committed writers of x in commit order.
+	versionOrder map[string][]int
+	// reads maps operation index (of each read op) to the writer id the
+	// read observes (0 = initial version).
+	reads map[int]int
+}
+
+// Evaluate computes snapshot-read semantics for the history.
+func Evaluate(h History) *Semantics {
+	s := &Semantics{
+		h:            h,
+		infos:        h.txnInfos(),
+		versionOrder: make(map[string][]int),
+		reads:        make(map[int]int),
+	}
+	// Build version order per item: committed writers by commit index.
+	type writerAt struct {
+		txn       int
+		commitIdx int
+	}
+	writers := make(map[string][]writerAt)
+	for _, op := range h {
+		if op.Type != OpWrite {
+			continue
+		}
+		ti := s.infos[op.Txn]
+		if ti.commitIdx < 0 {
+			continue
+		}
+		ws := writers[op.Item]
+		if len(ws) > 0 && ws[len(ws)-1].txn == op.Txn {
+			continue // multiple writes by same txn install one version
+		}
+		writers[op.Item] = append(ws, writerAt{txn: op.Txn, commitIdx: ti.commitIdx})
+	}
+	for item, ws := range writers {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].commitIdx < ws[j].commitIdx })
+		order := make([]int, 0, len(ws))
+		var last int = -1
+		for _, w := range ws {
+			if w.txn != last {
+				order = append(order, w.txn)
+				last = w.txn
+			}
+		}
+		s.versionOrder[item] = order
+	}
+	// Resolve each read.
+	ownWrite := make(map[[2]interface{}]bool) // (txn,item) has own write before current position
+	for i, op := range h {
+		switch op.Type {
+		case OpWrite:
+			ownWrite[[2]interface{}{op.Txn, op.Item}] = true
+		case OpRead:
+			if ownWrite[[2]interface{}{op.Txn, op.Item}] {
+				s.reads[i] = op.Txn
+				continue
+			}
+			s.reads[i] = s.snapshotWriter(op.Txn, op.Item)
+		}
+	}
+	return s
+}
+
+// snapshotWriter returns the writer whose version of item is in txn's
+// snapshot (0 for the initial version).
+func (s *Semantics) snapshotWriter(txn int, item string) int {
+	start := s.infos[txn].startIdx
+	best := 0
+	bestIdx := -1
+	for _, w := range s.versionOrder[item] {
+		ci := s.infos[w].commitIdx
+		if w != txn && ci < start && ci > bestIdx {
+			best = w
+			bestIdx = ci
+		}
+	}
+	return best
+}
+
+// ReadsFrom returns, for the read at operation index i, the writer id whose
+// version it observes (0 = initial). ok is false if i is not a read.
+func (s *Semantics) ReadsFrom(i int) (writer int, ok bool) {
+	w, ok := s.reads[i]
+	return w, ok
+}
+
+// VersionOrder returns the committed writers of item in version order.
+func (s *Semantics) VersionOrder(item string) []int {
+	return s.versionOrder[item]
+}
+
+// FinalWriter returns the writer of the final version of item (0 if no
+// committed writer).
+func (s *Semantics) FinalWriter(item string) int {
+	vo := s.versionOrder[item]
+	if len(vo) == 0 {
+		return 0
+	}
+	return vo[len(vo)-1]
+}
+
+// Items returns the items written by committed transactions, sorted.
+func (s *Semantics) Items() []string {
+	items := make([]string, 0, len(s.versionOrder))
+	for it := range s.versionOrder {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	return items
+}
+
+// Equivalent reports whether two histories are equivalent in the paper's
+// sense (§3): they include the same transactions and produce the same
+// output. Concretely: the same committed transactions, every committed
+// transaction's reads observe the same versions (same writer ids for the
+// k-th read of each item by each transaction), and every item's final
+// version has the same writer.
+func Equivalent(a, b History) bool {
+	sa, sb := Evaluate(a), Evaluate(b)
+	ca, cb := a.Committed(), b.Committed()
+	if len(ca) != len(cb) {
+		return false
+	}
+	setA := make(map[int]bool, len(ca))
+	for _, id := range ca {
+		setA[id] = true
+	}
+	for _, id := range cb {
+		if !setA[id] {
+			return false
+		}
+	}
+	// Final database state must match.
+	itemsA, itemsB := sa.Items(), sb.Items()
+	if len(itemsA) != len(itemsB) {
+		return false
+	}
+	for i := range itemsA {
+		if itemsA[i] != itemsB[i] {
+			return false
+		}
+		if sa.FinalWriter(itemsA[i]) != sb.FinalWriter(itemsB[i]) {
+			return false
+		}
+	}
+	// Committed transactions must read the same versions.
+	return readVector(a, sa, setA) == readVector(b, sb, setA)
+}
+
+// readVector serializes the observed-writer sequence of committed
+// transactions' reads, per transaction in transaction-id-then-sequence
+// order, into a comparable string.
+func readVector(h History, s *Semantics, committed map[int]bool) string {
+	perTxn := make(map[int][]Op)
+	obs := make(map[int][]int)
+	for i, op := range h {
+		if op.Type != OpRead || !committed[op.Txn] {
+			continue
+		}
+		perTxn[op.Txn] = append(perTxn[op.Txn], op)
+		w, _ := s.ReadsFrom(i)
+		obs[op.Txn] = append(obs[op.Txn], w)
+	}
+	ids := make([]int, 0, len(perTxn))
+	for id := range perTxn {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b []byte
+	for _, id := range ids {
+		for k, op := range perTxn[id] {
+			b = append(b, []byte(op.String())...)
+			b = append(b, '=')
+			b = appendInt(b, obs[id][k])
+			b = append(b, ';')
+		}
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+// MVCC garbage collection. A multi-version store grows without bound
+// unless versions that no possible snapshot can observe are pruned (§2's
+// multi-version substrate [6]). Visibility is decided by *commit*
+// timestamps, which the store does not know — versions are tagged with
+// their writers' start timestamps — so collection takes a Resolver
+// callback (the transaction layer supplies one backed by the status
+// oracle; see txn.Client.GC).
+//
+// Given a low-water mark — the oldest start timestamp any live or future
+// transaction can hold — a version is reclaimable if it is aborted, or if
+// it is committed and some other committed version of the same row has a
+// larger commit timestamp that is still below the mark (i.e. every
+// snapshot at or above the mark prefers the newer one). Pending versions
+// are never collected.
+
+// GCStatus classifies a version for the collector.
+type GCStatus uint8
+
+// Resolver outcomes.
+const (
+	// GCPending: the writing transaction's fate is unknown; keep.
+	GCPending GCStatus = iota
+	// GCCommitted: committed with the returned commit timestamp.
+	GCCommitted
+	// GCAborted: the version is garbage regardless of the watermark.
+	GCAborted
+)
+
+// Resolver reports the commit status of the version of key written at
+// writeTS.
+type Resolver func(key string, writeTS uint64) (commitTS uint64, status GCStatus)
+
+// CompactBefore prunes versions unobservable by any snapshot at or above
+// lowWater, across all regions, and returns the number removed.
+func (s *Store) CompactBefore(lowWater uint64, resolve Resolver) int {
+	s.topoMu.RLock()
+	regions := append([]*Region(nil), s.regions...)
+	s.topoMu.RUnlock()
+	removed := 0
+	for _, r := range regions {
+		removed += r.compactBefore(lowWater, resolve)
+	}
+	return removed
+}
+
+// compactBefore prunes one region.
+func (r *Region) compactBefore(lowWater uint64, resolve Resolver) int {
+	// Resolve outside the region lock would be nicer for long oracle
+	// round trips, but correctness is simpler under the lock and our
+	// resolvers are in-memory.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	for key, rw := range r.rows {
+		type verdict struct {
+			commitTS uint64
+			status   GCStatus
+		}
+		verdicts := make([]verdict, len(rw.versions))
+		// The retained snapshot version: largest commit timestamp
+		// below the mark.
+		var bestTC uint64
+		for i, v := range rw.versions {
+			tc, st := resolve(key, v.TS)
+			verdicts[i] = verdict{commitTS: tc, status: st}
+			if st == GCCommitted && tc < lowWater && tc > bestTC {
+				bestTC = tc
+			}
+		}
+		kept := rw.versions[:0]
+		for i, v := range rw.versions {
+			vd := verdicts[i]
+			drop := vd.status == GCAborted ||
+				(vd.status == GCCommitted && vd.commitTS < bestTC)
+			if drop {
+				if rw.shadow != nil {
+					delete(rw.shadow, v.TS)
+				}
+				removed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		rw.versions = kept
+	}
+	return removed
+}
+
+// VersionCount returns the total number of stored versions (test and
+// monitoring hook).
+func (s *Store) VersionCount() int {
+	s.topoMu.RLock()
+	regions := append([]*Region(nil), s.regions...)
+	s.topoMu.RUnlock()
+	n := 0
+	for _, r := range regions {
+		r.mu.RLock()
+		for _, rw := range r.rows {
+			n += len(rw.versions)
+		}
+		r.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// alwaysCommitted resolves every version as committed at writeTS+1 —
+// useful where start order equals commit order.
+func alwaysCommitted(key string, writeTS uint64) (uint64, GCStatus) {
+	return writeTS + 1, GCCommitted
+}
+
+func TestCompactBeforeKeepsSnapshotVersion(t *testing.T) {
+	s := New(Config{})
+	for ts := uint64(10); ts <= 50; ts += 10 {
+		s.Put("k", ts, []byte{byte(ts)})
+	}
+	// lowWater 35: versions committed at 11,21,31 below it; 31 retained,
+	// 11 and 21 pruned; 41 and 51 kept (above the mark).
+	removed := s.CompactBefore(35, alwaysCommitted)
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if _, err := s.GetVersion("k", 30); err != nil {
+		t.Fatal("snapshot-at-mark version pruned")
+	}
+	if _, err := s.GetVersion("k", 10); err == nil {
+		t.Fatal("old version survived")
+	}
+	if _, err := s.GetVersion("k", 50); err != nil {
+		t.Fatal("new version pruned")
+	}
+}
+
+func TestCompactBeforeDropsAborted(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 10, []byte("good"))
+	s.Put("k", 20, []byte("garbage"))
+	resolve := func(key string, writeTS uint64) (uint64, GCStatus) {
+		if writeTS == 20 {
+			return 0, GCAborted
+		}
+		return writeTS + 1, GCCommitted
+	}
+	if n := s.CompactBefore(5, resolve); n != 1 {
+		t.Fatalf("removed %d, want 1 (the aborted version)", n)
+	}
+	if _, err := s.GetVersion("k", 10); err != nil {
+		t.Fatal("committed version pruned")
+	}
+}
+
+func TestCompactBeforeKeepsPending(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 10, []byte("pending"))
+	resolve := func(string, uint64) (uint64, GCStatus) { return 0, GCPending }
+	if n := s.CompactBefore(1000, resolve); n != 0 {
+		t.Fatalf("pruned %d pending versions", n)
+	}
+}
+
+func TestCompactBeforeRemovesShadow(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 10, []byte("old"))
+	s.PutShadow("k", 10, 11)
+	s.Put("k", 20, []byte("new"))
+	s.PutShadow("k", 20, 21)
+	if n := s.CompactBefore(100, alwaysCommitted); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if _, ok := s.GetShadow("k", 10); ok {
+		t.Fatal("shadow of pruned version survived")
+	}
+	if _, ok := s.GetShadow("k", 20); !ok {
+		t.Fatal("shadow of retained version pruned")
+	}
+}
+
+func TestVersionCountAcrossRegions(t *testing.T) {
+	s := New(Config{Servers: 2, SplitKeys: []string{"m"}})
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("a%d", i), 1, []byte("v"))
+		s.Put(fmt.Sprintf("z%d", i), 1, []byte("v"))
+	}
+	if n := s.VersionCount(); n != 20 {
+		t.Fatalf("VersionCount = %d, want 20", n)
+	}
+}
+
+func TestScanVersionsPerRow(t *testing.T) {
+	s := New(Config{})
+	for ts := uint64(1); ts <= 5; ts++ {
+		s.Put("k", ts, []byte{byte(ts)})
+	}
+	rows := s.Scan("", "", 100, 2, 0)
+	if len(rows) != 1 || len(rows[0].Versions) != 2 {
+		t.Fatalf("scan versionsPerRow: %+v", rows)
+	}
+	if rows[0].Versions[0].TS != 5 {
+		t.Fatalf("newest first violated: %d", rows[0].Versions[0].TS)
+	}
+}

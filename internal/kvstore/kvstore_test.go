@@ -1,0 +1,302 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetVersions(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 10, []byte("v10"))
+	s.Put("k", 20, []byte("v20"))
+	s.Put("k", 30, []byte("v30"))
+
+	vs := s.Get("k", 25, 0)
+	if len(vs) != 2 {
+		t.Fatalf("got %d versions, want 2", len(vs))
+	}
+	if vs[0].TS != 20 || string(vs[0].Value) != "v20" {
+		t.Fatalf("newest visible = %d/%q, want 20/v20", vs[0].TS, vs[0].Value)
+	}
+	if vs[1].TS != 10 {
+		t.Fatalf("older = %d, want 10", vs[1].TS)
+	}
+}
+
+func TestGetBeforeIsExclusive(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 10, []byte("v"))
+	if vs := s.Get("k", 10, 0); len(vs) != 0 {
+		t.Fatalf("ts==before must be invisible, got %d versions", len(vs))
+	}
+	if vs := s.Get("k", 11, 0); len(vs) != 1 {
+		t.Fatalf("ts<before must be visible")
+	}
+}
+
+func TestGetLimit(t *testing.T) {
+	s := New(Config{})
+	for ts := uint64(1); ts <= 10; ts++ {
+		s.Put("k", ts, []byte{byte(ts)})
+	}
+	vs := s.Get("k", 100, 3)
+	if len(vs) != 3 || vs[0].TS != 10 {
+		t.Fatalf("limit ignored: %v", vs)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := New(Config{})
+	if vs := s.Get("missing", 100, 0); vs != nil {
+		t.Fatalf("missing key returned versions: %v", vs)
+	}
+}
+
+func TestOverwriteSameTimestampIdempotent(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 5, []byte("first"))
+	s.Put("k", 5, []byte("second"))
+	vs := s.Get("k", 6, 0)
+	if len(vs) != 1 || string(vs[0].Value) != "second" {
+		t.Fatalf("same-ts rewrite: %v", vs)
+	}
+}
+
+func TestGetVersionExact(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 5, []byte("five"))
+	v, err := s.GetVersion("k", 5)
+	if err != nil || string(v.Value) != "five" {
+		t.Fatalf("GetVersion = %q, %v", v.Value, err)
+	}
+	if _, err := s.GetVersion("k", 6); err != ErrNoSuchVersion {
+		t.Fatalf("err = %v, want ErrNoSuchVersion", err)
+	}
+	if _, err := s.GetVersion("absent", 5); err != ErrNoSuchVersion {
+		t.Fatalf("err = %v, want ErrNoSuchVersion", err)
+	}
+}
+
+func TestDeleteVersion(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 5, []byte("x"))
+	s.Put("k", 7, []byte("y"))
+	s.DeleteVersion("k", 5)
+	if _, err := s.GetVersion("k", 5); err == nil {
+		t.Fatal("deleted version still present")
+	}
+	if _, err := s.GetVersion("k", 7); err != nil {
+		t.Fatal("unrelated version removed")
+	}
+	s.DeleteVersion("k", 99)      // no-op
+	s.DeleteVersion("absent", 99) // no-op
+}
+
+func TestShadowCells(t *testing.T) {
+	s := New(Config{})
+	s.Put("k", 5, []byte("x"))
+	if _, ok := s.GetShadow("k", 5); ok {
+		t.Fatal("shadow present before write-back")
+	}
+	s.PutShadow("k", 5, 9)
+	tc, ok := s.GetShadow("k", 5)
+	if !ok || tc != 9 {
+		t.Fatalf("shadow = %d,%v want 9,true", tc, ok)
+	}
+	if _, ok := s.GetShadow("absent", 5); ok {
+		t.Fatal("shadow on absent key")
+	}
+}
+
+func TestValueCopiedOnPut(t *testing.T) {
+	s := New(Config{})
+	buf := []byte("mutable")
+	s.Put("k", 1, buf)
+	buf[0] = 'X'
+	vs := s.Get("k", 2, 0)
+	if string(vs[0].Value) != "mutable" {
+		t.Fatal("store aliases caller's buffer")
+	}
+}
+
+func TestRegionPartitioning(t *testing.T) {
+	s := New(Config{Servers: 3, SplitKeys: []string{"g", "p"}})
+	if s.NumRegions() != 3 {
+		t.Fatalf("regions = %d, want 3", s.NumRegions())
+	}
+	// Keys land in the right region regardless of server count.
+	for _, k := range []string{"a", "g", "h", "p", "z", ""} {
+		r := s.regionFor(k)
+		if k < r.StartKey || (r.EndKey != "" && k >= r.EndKey) {
+			t.Fatalf("key %q routed to region [%q,%q)", k, r.StartKey, r.EndKey)
+		}
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	s := New(Config{SplitKeys: []string{"m"}})
+	keys := []string{"d", "a", "z", "m", "b", "q"}
+	for i, k := range keys {
+		s.Put(k, uint64(i+1), []byte(k))
+	}
+	rows := s.Scan("b", "q", 100, 0, 0)
+	want := []string{"b", "d", "m"}
+	if len(rows) != len(want) {
+		t.Fatalf("scan rows = %v", rows)
+	}
+	for i, r := range rows {
+		if r.Key != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.Key, want[i])
+		}
+	}
+	// Unbounded end.
+	all := s.Scan("", "", 100, 0, 0)
+	if len(all) != len(keys) {
+		t.Fatalf("full scan returned %d rows, want %d", len(all), len(keys))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key >= all[i].Key {
+			t.Fatalf("scan not ordered: %q >= %q", all[i-1].Key, all[i].Key)
+		}
+	}
+	// Row limit.
+	if lim := s.Scan("", "", 100, 0, 2); len(lim) != 2 {
+		t.Fatalf("limit ignored: %d rows", len(lim))
+	}
+}
+
+func TestScanRespectsSnapshot(t *testing.T) {
+	s := New(Config{})
+	s.Put("a", 10, []byte("old"))
+	s.Put("b", 50, []byte("new"))
+	rows := s.Scan("", "", 20, 0, 0)
+	if len(rows) != 1 || rows[0].Key != "a" {
+		t.Fatalf("snapshot scan = %v", rows)
+	}
+}
+
+func TestAutoSplit(t *testing.T) {
+	s := New(Config{Servers: 4, MaxRegionRows: 10})
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("key%03d", i), 1, []byte("v"))
+	}
+	if s.NumRegions() < 4 {
+		t.Fatalf("auto-split produced only %d regions", s.NumRegions())
+	}
+	// All keys still reachable.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key%03d", i)
+		if vs := s.Get(k, 2, 0); len(vs) != 1 {
+			t.Fatalf("key %q lost after splits", k)
+		}
+	}
+	// Scans still produce everything in order.
+	rows := s.Scan("", "", 2, 0, 0)
+	if len(rows) != 100 {
+		t.Fatalf("scan after splits: %d rows, want 100", len(rows))
+	}
+}
+
+func TestSplitPreservesVersionsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Config{Servers: 2, MaxRegionRows: 5})
+		type put struct {
+			key string
+			ts  uint64
+		}
+		var puts []put
+		for i := 0; i < 60; i++ {
+			p := put{key: fmt.Sprintf("k%02d", rng.Intn(30)), ts: uint64(i + 1)}
+			puts = append(puts, p)
+			s.Put(p.key, p.ts, []byte(p.key))
+		}
+		for _, p := range puts {
+			if _, err := s.GetVersion(p.key, p.ts); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s := New(Config{Servers: 4, SplitKeys: []string{"k05", "k10", "k15"}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%02d", rng.Intn(20))
+				if rng.Intn(2) == 0 {
+					s.Put(k, uint64(g*1000+i+1), []byte(k))
+				} else {
+					s.Get(k, uint64(rng.Intn(5000)), 4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Writes == 0 || st.Reads == 0 {
+		t.Fatalf("stats missing activity: %+v", st)
+	}
+}
+
+func TestBlockCacheHitMiss(t *testing.T) {
+	s := New(Config{Servers: 1, CacheRows: 2})
+	s.Put("a", 1, []byte("x")) // resident via write
+	s.Get("a", 2, 0)           // hit
+	s.Get("b", 2, 0)           // miss (not resident)
+	s.Get("b", 2, 0)           // now hit
+	st := s.Stats()
+	if st.CacheMiss != 1 {
+		t.Fatalf("misses = %d, want 1", st.CacheMiss)
+	}
+	if st.CacheHits != 2 {
+		t.Fatalf("hits = %d, want 2", st.CacheHits)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.add("a")
+	c.add("b")
+	c.touch("a") // a most recent
+	c.add("c")   // evicts b
+	if !c.contains("a") || !c.contains("c") || c.contains("b") {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+}
+
+func TestModelServerCacheTouch(t *testing.T) {
+	rs := NewModelServer(0, 2)
+	if rs.CacheTouch("x") {
+		t.Fatal("first touch must miss")
+	}
+	if !rs.CacheTouch("x") {
+		t.Fatal("second touch must hit")
+	}
+	if !rs.CacheContains("x") {
+		t.Fatal("CacheContains disagrees")
+	}
+	st := rs.stats()
+	if st.CacheHits != 1 || st.CacheMiss != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	s := New(Config{Servers: 2, SplitKeys: []string{"m"}})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

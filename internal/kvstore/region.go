@@ -1,0 +1,235 @@
+package kvstore
+
+import (
+	"sort"
+	"sync"
+)
+
+// row holds the versions of one row, newest first, plus the written-back
+// ("shadow") commit timestamps keyed by write timestamp.
+type row struct {
+	versions []Version // sorted by TS descending
+	shadow   map[uint64]uint64
+}
+
+// Region is a contiguous key range [StartKey, EndKey) served by one region
+// server. EndKey == "" means unbounded.
+type Region struct {
+	StartKey string
+	EndKey   string
+
+	server *RegionServer
+
+	mu    sync.RWMutex
+	rows  map[string]*row
+	keys  []string // sorted keys, maintained lazily for scans/splits
+	dirty bool     // keys needs re-sorting
+}
+
+func newRegion(start, end string) *Region {
+	return &Region{StartKey: start, EndKey: end, rows: make(map[string]*row)}
+}
+
+// numRows returns the number of rows in the region.
+func (r *Region) numRows() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+// put inserts a version; reports whether a new row was created.
+func (r *Region) put(key string, ts uint64, value []byte) bool {
+	val := make([]byte, len(value))
+	copy(val, value)
+	r.mu.Lock()
+	rw, ok := r.rows[key]
+	if !ok {
+		rw = &row{}
+		r.rows[key] = rw
+		r.keys = append(r.keys, key)
+		r.dirty = true
+	}
+	rw.insert(Version{TS: ts, Value: val})
+	r.mu.Unlock()
+	r.server.chargeWrite(key)
+	return !ok
+}
+
+// insert places v in descending-timestamp order, replacing an equal
+// timestamp (idempotent re-write by the same transaction).
+func (rw *row) insert(v Version) {
+	i := sort.Search(len(rw.versions), func(i int) bool {
+		return rw.versions[i].TS <= v.TS
+	})
+	if i < len(rw.versions) && rw.versions[i].TS == v.TS {
+		rw.versions[i] = v
+		return
+	}
+	rw.versions = append(rw.versions, Version{})
+	copy(rw.versions[i+1:], rw.versions[i:])
+	rw.versions[i] = v
+}
+
+// get returns up to limit versions with TS < before, newest first.
+func (r *Region) get(key string, before uint64, limit int) []Version {
+	r.server.chargeRead(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rw, ok := r.rows[key]
+	if !ok {
+		return nil
+	}
+	var out []Version
+	for _, v := range rw.versions {
+		if v.TS >= before {
+			continue
+		}
+		out = append(out, v)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// getVersion returns the exact version written at ts.
+func (r *Region) getVersion(key string, ts uint64) (Version, error) {
+	r.server.chargeRead(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if rw, ok := r.rows[key]; ok {
+		for _, v := range rw.versions {
+			if v.TS == ts {
+				return v, nil
+			}
+			if v.TS < ts {
+				break
+			}
+		}
+	}
+	return Version{}, ErrNoSuchVersion
+}
+
+// deleteVersion removes the exact version written at ts.
+func (r *Region) deleteVersion(key string, ts uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.rows[key]
+	if !ok {
+		return
+	}
+	for i, v := range rw.versions {
+		if v.TS == ts {
+			rw.versions = append(rw.versions[:i], rw.versions[i+1:]...)
+			break
+		}
+		if v.TS < ts {
+			break
+		}
+	}
+}
+
+// putShadow records a written-back commit timestamp.
+func (r *Region) putShadow(key string, writeTS, commitTS uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.rows[key]
+	if !ok {
+		rw = &row{}
+		r.rows[key] = rw
+		r.keys = append(r.keys, key)
+		r.dirty = true
+	}
+	if rw.shadow == nil {
+		rw.shadow = make(map[uint64]uint64)
+	}
+	rw.shadow[writeTS] = commitTS
+}
+
+// getShadow reads a written-back commit timestamp.
+func (r *Region) getShadow(key string, writeTS uint64) (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rw, ok := r.rows[key]
+	if !ok || rw.shadow == nil {
+		return 0, false
+	}
+	ts, ok := rw.shadow[writeTS]
+	return ts, ok
+}
+
+// sortedKeys returns the region's keys in order. Caller must hold r.mu
+// (write lock if dirty).
+func (r *Region) sortedKeysLocked() []string {
+	if r.dirty {
+		sort.Strings(r.keys)
+		r.dirty = false
+	}
+	return r.keys
+}
+
+// scan appends rows in [startKey, endKey) with versions below before.
+func (r *Region) scan(out []ScanRow, startKey, endKey string, before uint64, versionsPerRow, limit int) []ScanRow {
+	r.mu.Lock()
+	keys := r.sortedKeysLocked()
+	i := sort.SearchStrings(keys, startKey)
+	for ; i < len(keys); i++ {
+		key := keys[i]
+		if endKey != "" && key >= endKey {
+			break
+		}
+		rw := r.rows[key]
+		var vs []Version
+		for _, v := range rw.versions {
+			if v.TS >= before {
+				continue
+			}
+			vs = append(vs, v)
+			if versionsPerRow > 0 && len(vs) >= versionsPerRow {
+				break
+			}
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		out = append(out, ScanRow{Key: key, Versions: vs})
+		r.server.chargeRead(key)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// midKey returns the median row key, used as an auto-split point.
+func (r *Region) midKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := r.sortedKeysLocked()
+	if len(keys) < 2 {
+		return ""
+	}
+	return keys[len(keys)/2]
+}
+
+// splitAt moves rows with key >= mid into a new region and shrinks the
+// receiver to [StartKey, mid). Returns the new upper region.
+func (r *Region) splitAt(mid string) *Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mid <= r.StartKey || (r.EndKey != "" && mid >= r.EndKey) {
+		return nil
+	}
+	upper := newRegion(mid, r.EndKey)
+	keys := r.sortedKeysLocked()
+	i := sort.SearchStrings(keys, mid)
+	for _, k := range keys[i:] {
+		upper.rows[k] = r.rows[k]
+		upper.keys = append(upper.keys, k)
+		delete(r.rows, k)
+	}
+	r.keys = keys[:i]
+	r.EndKey = mid
+	return upper
+}

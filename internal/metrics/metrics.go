@@ -1,0 +1,272 @@
+// Package metrics provides latency histograms and throughput meters used by
+// the benchmark harness and the cluster simulator.
+//
+// The histogram is a fixed-layout log-linear histogram (similar in spirit to
+// HdrHistogram): values are bucketed into power-of-two magnitude groups, each
+// split into a fixed number of linear sub-buckets. This gives a bounded
+// relative error (~1/subBuckets) over an arbitrary dynamic range while
+// keeping Record at a handful of instructions, which matters because the
+// simulator records millions of samples per run.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	// subBucketBits controls histogram resolution: each power-of-two range
+	// is divided into 1<<subBucketBits linear buckets (relative error ~0.8%).
+	subBucketBits = 7
+	subBuckets    = 1 << subBucketBits
+	// maxMagnitude bounds the value range to [0, 2^(maxMagnitude+subBucketBits)).
+	maxMagnitude = 42
+)
+
+// Histogram records non-negative integer samples (typically latencies in
+// microseconds) with bounded relative error. The zero value is ready to use.
+// Histogram is not safe for concurrent use; wrap it in a Mutex or use
+// ConcurrentHistogram when recording from multiple goroutines.
+type Histogram struct {
+	counts [maxMagnitude * subBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	// Values below subBuckets map directly to linear buckets.
+	if v < subBuckets {
+		return int(v)
+	}
+	mag := bits.Len64(uint64(v)) - 1 - subBucketBits // power-of-two group above the linear range
+	sub := v >> uint(mag)                            // in [subBuckets, 2*subBuckets)
+	idx := (mag+1)*subBuckets + int(sub) - subBuckets
+	if idx >= len((&Histogram{}).counts) {
+		idx = len((&Histogram{}).counts) - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lowest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	mag := i/subBuckets - 1
+	sub := i%subBuckets + subBuckets
+	return int64(sub) << uint(mag)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// ConcurrentHistogram is a mutex-protected Histogram safe for concurrent use.
+type ConcurrentHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Record adds one sample.
+func (c *ConcurrentHistogram) Record(v int64) {
+	c.mu.Lock()
+	c.h.Record(v)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (c *ConcurrentHistogram) Snapshot() Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h
+}
+
+// Counter is an atomic-free counter protected by a mutex; used where exact
+// totals matter more than raw speed.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Series is an ordered set of (x, y) points, used to accumulate the data
+// behind one curve of a figure (e.g. latency vs. throughput).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is a single measurement of a figure curve.
+type Point struct {
+	X float64 // e.g. throughput in TPS
+	Y float64 // e.g. average latency in ms
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Sorted returns a copy of the points ordered by X.
+func (s *Series) Sorted() []Point {
+	pts := make([]Point, len(s.Points))
+	copy(pts, s.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+// Table renders one or more series that share X semantics as an aligned
+// text table, the format used by cmd/bench to print figure data.
+func Table(xLabel, yLabel string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%16s", s.Name+" "+yLabel)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		wrote := false
+		for j, s := range series {
+			if i >= len(s.Points) {
+				fmt.Fprintf(&b, "%16s", "-")
+				continue
+			}
+			p := s.Points[i]
+			if !wrote {
+				fmt.Fprintf(&b, "%-14.1f", p.X)
+				wrote = true
+				if j > 0 {
+					// X came from a later series; pad earlier columns.
+					for k := 0; k < j; k++ {
+						fmt.Fprintf(&b, "%16s", "-")
+					}
+				}
+			}
+			fmt.Fprintf(&b, "%16.2f", p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,296 @@
+package netsrv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oracle"
+)
+
+// Client is a pipelined network client for the status oracle. It satisfies
+// txn.Arbiter and txn.Subscribing, so the transaction layer works unchanged
+// whether the oracle is in-process or remote. Any number of goroutines may
+// issue requests concurrently; they share one connection and are matched to
+// responses by request id.
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error // permanent failure
+	closed  bool
+
+	subs   []*subConn
+	subsMu sync.Mutex
+}
+
+type response struct {
+	code    byte
+	payload []byte
+	err     error
+}
+
+// Dial connects to a status oracle server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{addr: addr, conn: conn, pending: make(map[uint64]chan response)}
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// Close tears down the connection and any subscription connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.failLocked(errors.New("netsrv: client closed"))
+	conn := c.conn
+	c.mu.Unlock()
+	c.subsMu.Lock()
+	for _, s := range c.subs {
+		s.close()
+	}
+	c.subs = nil
+	c.subsMu.Unlock()
+	return conn.Close()
+}
+
+// failLocked completes all pending calls with err. Caller holds c.mu.
+func (c *Client) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		ch <- response{err: c.err}
+		delete(c.pending, id)
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("netsrv: connection lost: %w", err))
+			c.mu.Unlock()
+			return
+		}
+		reqID, code, payload, err := splitResponse(body)
+		if err != nil {
+			c.mu.Lock()
+			c.failLocked(err)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- response{code: code, payload: payload}
+		}
+	}
+}
+
+// call issues one request and waits for its response.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	body := make([]byte, 9, 9+len(payload))
+	binary.BigEndian.PutUint64(body[:8], id)
+	body[8] = op
+	body = append(body, payload...)
+	err := writeFrame(c.conn, body)
+	if err != nil {
+		delete(c.pending, id)
+		c.failLocked(fmt.Errorf("netsrv: write: %w", err))
+		err = c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	resp := <-ch
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	if resp.code == codeErr {
+		return nil, remoteError(resp.payload)
+	}
+	return resp.payload, nil
+}
+
+// Begin requests a start timestamp.
+func (c *Client) Begin() (uint64, error) {
+	payload, err := c.call(opBegin, nil)
+	if err != nil {
+		return 0, err
+	}
+	return parseU64(payload)
+}
+
+// Commit submits a commit request.
+func (c *Client) Commit(req oracle.CommitRequest) (oracle.CommitResult, error) {
+	payload, err := c.call(opCommit, encodeCommitReq(req))
+	if err != nil {
+		return oracle.CommitResult{}, err
+	}
+	if len(payload) != 9 {
+		return oracle.CommitResult{}, ErrBadFrame
+	}
+	return oracle.CommitResult{
+		Committed: payload[0] == 1,
+		CommitTS:  binary.BigEndian.Uint64(payload[1:]),
+	}, nil
+}
+
+// Abort records an explicit abort.
+func (c *Client) Abort(startTS uint64) error {
+	_, err := c.call(opAbort, u64(startTS))
+	return err
+}
+
+// Query asks for a transaction's status.
+func (c *Client) Query(startTS uint64) oracle.TxnStatus {
+	payload, err := c.call(opQuery, u64(startTS))
+	if err != nil {
+		// The Arbiter interface has no error path for Query;
+		// pending is the safe answer (the reader skips the version
+		// and may retry).
+		return oracle.TxnStatus{Status: oracle.StatusPending}
+	}
+	st, err := parseTxnStatus(payload)
+	if err != nil {
+		return oracle.TxnStatus{Status: oracle.StatusPending}
+	}
+	return st
+}
+
+// Forget drops an aborted transaction's record after cleanup.
+func (c *Client) Forget(startTS uint64) {
+	_, _ = c.call(opForget, u64(startTS))
+}
+
+// Stats fetches the server-side oracle counters.
+func (c *Client) Stats() (oracle.Stats, error) {
+	payload, err := c.call(opStats, nil)
+	if err != nil {
+		return oracle.Stats{}, err
+	}
+	if len(payload) != 48 {
+		return oracle.Stats{}, ErrBadFrame
+	}
+	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(payload[i*8:])) }
+	return oracle.Stats{
+		Begins:          v(0),
+		Commits:         v(1),
+		ReadOnlyCommits: v(2),
+		ConflictAborts:  v(3),
+		TmaxAborts:      v(4),
+		ExplicitAborts:  v(5),
+	}, nil
+}
+
+// Subscribe opens a dedicated event-stream connection and adapts it to the
+// oracle.Subscription interface used by the transaction layer.
+func (c *Client) Subscribe(buffer int) *oracle.Subscription {
+	sc, err := newSubConn(c.addr, buffer)
+	if err != nil {
+		// Degrade gracefully: a closed subscription forces the
+		// replica cache to fall back to direct queries.
+		b := newClosedBroadcastSub()
+		return b
+	}
+	c.subsMu.Lock()
+	c.subs = append(c.subs, sc)
+	c.subsMu.Unlock()
+	return sc.sub
+}
+
+// subConn pumps a server event stream into a local broadcaster, reusing the
+// oracle package's Subscription type so txn's replica cache is agnostic to
+// transport.
+type subConn struct {
+	conn  net.Conn
+	bcast *oracle.LocalBroadcaster
+	sub   *oracle.Subscription
+}
+
+func newSubConn(addr string, buffer int) (*subConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 9, 17)
+	binary.BigEndian.PutUint64(body[:8], 1)
+	body[8] = opSubscribe
+	body = append(body, u64(uint64(buffer))...)
+	if err := writeFrame(conn, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Await the OK response.
+	ack, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, code, _, err := splitResponse(ack); err != nil || code != codeOK {
+		conn.Close()
+		return nil, fmt.Errorf("netsrv: subscribe rejected")
+	}
+	bc := oracle.NewLocalBroadcaster()
+	sc := &subConn{conn: conn, bcast: bc, sub: bc.Subscribe(buffer)}
+	go sc.pump()
+	return sc, nil
+}
+
+func (sc *subConn) pump() {
+	defer sc.bcast.Close()
+	for {
+		body, err := readFrame(sc.conn)
+		if err != nil {
+			return
+		}
+		_, code, payload, err := splitResponse(body)
+		if err != nil || code != codeEvent {
+			return
+		}
+		e, err := parseEvent(payload)
+		if err != nil {
+			return
+		}
+		sc.bcast.Publish(e)
+	}
+}
+
+func (sc *subConn) close() {
+	sc.conn.Close()
+}
+
+// newClosedBroadcastSub returns an already-closed subscription.
+func newClosedBroadcastSub() *oracle.Subscription {
+	bc := oracle.NewLocalBroadcaster()
+	sub := bc.Subscribe(1)
+	bc.Close()
+	return sub
+}

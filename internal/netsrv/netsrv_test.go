@@ -1,0 +1,400 @@
+package netsrv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/oracle"
+	"repro/internal/tso"
+	"repro/internal/txn"
+)
+
+func startServer(t *testing.T, engine oracle.Engine) (*Server, *Client) {
+	t.Helper()
+	clock := tso.New(0, nil)
+	so, err := oracle.New(oracle.Config{Engine: engine, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(so)
+	srv.Logf = nil // silence expected connection-teardown noise
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestBeginOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	a, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("timestamps not increasing over network: %d then %d", a, b)
+	}
+}
+
+func TestCommitAndConflictOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	t1, _ := c.Begin()
+	t2, _ := c.Begin()
+	r1, err := c.Commit(oracle.CommitRequest{StartTS: t1, WriteSet: []oracle.RowID{1}})
+	if err != nil || !r1.Committed {
+		t.Fatalf("commit 1: %+v %v", r1, err)
+	}
+	// t2 read row 1 which t1 modified concurrently.
+	r2, err := c.Commit(oracle.CommitRequest{StartTS: t2, WriteSet: []oracle.RowID{2}, ReadSet: []oracle.RowID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Committed {
+		t.Fatal("conflict not detected over network")
+	}
+}
+
+func TestQueryAbortForgetOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.SI)
+	ts, _ := c.Begin()
+	if st := c.Query(ts); st.Status != oracle.StatusPending {
+		t.Fatalf("pending query = %v", st.Status)
+	}
+	if err := c.Abort(ts); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Query(ts); st.Status != oracle.StatusAborted {
+		t.Fatalf("aborted query = %v", st.Status)
+	}
+	c.Forget(ts)
+	if st := c.Query(ts); st.Status != oracle.StatusPending {
+		t.Fatalf("forgotten query = %v", st.Status)
+	}
+}
+
+func TestStatsOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.SI)
+	ts, _ := c.Begin()
+	if _, err := c.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Begins != 1 || st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	const callers = 32
+	var wg sync.WaitGroup
+	tss := make([]uint64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts, err := c.Begin()
+			if err != nil {
+				t.Errorf("begin: %v", err)
+				return
+			}
+			tss[i] = ts
+			res, err := c.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{oracle.RowID(i)}})
+			if err != nil || !res.Committed {
+				t.Errorf("commit %d: %+v %v", i, res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, ts := range tss {
+		if ts == 0 || seen[ts] {
+			t.Fatalf("duplicate or zero pipelined timestamp: %d", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestSubscriptionOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	sub := c.Subscribe(64)
+	defer sub.Close()
+	// Give the subscription connection a moment to register.
+	time.Sleep(20 * time.Millisecond)
+
+	ts, _ := c.Begin()
+	res, err := c.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{7}})
+	if err != nil || !res.Committed {
+		t.Fatalf("commit: %v %v", res, err)
+	}
+	select {
+	case e := <-sub.C:
+		if e.StartTS != ts || e.CommitTS != res.CommitTS {
+			t.Fatalf("event = %+v, want %d@%d", e, ts, res.CommitTS)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event over network subscription")
+	}
+}
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	srv, c := startServer(t, oracle.WSI)
+	// Throw garbage at the server on a raw connection.
+	raw, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.mu.Lock()
+	_, _ = raw.conn.Write([]byte{0, 0, 0, 2, 0xde}) // truncated body
+	raw.mu.Unlock()
+	raw.Close()
+	// The healthy client must still work.
+	if _, err := c.Begin(); err != nil {
+		t.Fatalf("healthy client broken by garbage peer: %v", err)
+	}
+}
+
+func TestClientFailsPendingOnServerClose(t *testing.T) {
+	srv, c := startServer(t, oracle.WSI)
+	srv.Close()
+	_, err := c.Begin()
+	if err == nil {
+		t.Fatal("Begin should fail after server close")
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	// Hand-craft an unknown op.
+	if _, err := c.call(0xEE, nil); err == nil {
+		t.Fatal("unknown op must yield an error")
+	} else if _, ok := err.(remoteError); !ok {
+		t.Fatalf("err = %T %v, want remoteError", err, err)
+	}
+}
+
+func TestTxnLayerOverNetwork(t *testing.T) {
+	// Full integration: the transaction layer drives the oracle over TCP
+	// in replica mode — the paper's deployment shape.
+	_, c := startServer(t, oracle.WSI)
+	store := kvstore.New(kvstore.Config{})
+	tc, err := txn.NewClient(store, c, txn.Config{Mode: txn.ModeReplica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	t1, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Put("k", []byte("net")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := t2.Get("k")
+	if err != nil || !ok || string(v) != "net" {
+		t.Fatalf("networked get = %q,%v,%v", v, ok, err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflict path over the network.
+	a, _ := tc.Begin()
+	if _, _, err := a.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := tc.Begin()
+	if err := b.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("other", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); !errors.Is(err, txn.ErrConflict) {
+		t.Fatalf("networked conflict = %v, want ErrConflict", err)
+	}
+}
+
+func TestSubscribeAgainstDeadServerDegrades(t *testing.T) {
+	srv, c := startServer(t, oracle.WSI)
+	srv.Close()
+	// Subscribe must not hang or panic; it returns a closed subscription
+	// that forces replica caches onto the query path.
+	sub := c.Subscribe(4)
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("event from a dead server")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription against dead server hangs")
+	}
+}
+
+func TestSubscriptionEventOrder(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	sub := c.Subscribe(64)
+	defer sub.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	var commits []uint64
+	for i := 0; i < 5; i++ {
+		ts, _ := c.Begin()
+		res, err := c.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{oracle.RowID(i)}})
+		if err != nil || !res.Committed {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		commits = append(commits, res.CommitTS)
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case e := <-sub.C:
+			if e.CommitTS != commits[i] {
+				t.Fatalf("event %d out of order: got %d want %d", i, e.CommitTS, commits[i])
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing event %d", i)
+		}
+	}
+}
+
+func TestCommitReqRoundTrip(t *testing.T) {
+	prop := func(start uint64, w, r []uint64) bool {
+		req := oracle.CommitRequest{StartTS: start}
+		for _, v := range w {
+			req.WriteSet = append(req.WriteSet, oracle.RowID(v))
+		}
+		for _, v := range r {
+			req.ReadSet = append(req.ReadSet, oracle.RowID(v))
+		}
+		got, err := decodeCommitReq(encodeCommitReq(req))
+		if err != nil || got.StartTS != start ||
+			len(got.WriteSet) != len(req.WriteSet) || len(got.ReadSet) != len(req.ReadSet) {
+			return false
+		}
+		for i := range req.WriteSet {
+			if got.WriteSet[i] != req.WriteSet[i] {
+				return false
+			}
+		}
+		for i := range req.ReadSet {
+			if got.ReadSet[i] != req.ReadSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCommitReqRejectsTrailing(t *testing.T) {
+	enc := encodeCommitReq(oracle.CommitRequest{StartTS: 1})
+	if _, err := decodeCommitReq(append(enc, 0xFF)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+	if _, err := decodeCommitReq(enc[:5]); err == nil {
+		t.Fatal("truncated request must be rejected")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {1}, []byte("hello"), make([]byte, 4096)}
+	for _, b := range bodies {
+		buf.Reset()
+		if err := writeFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(b))
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	e := oracle.Event{StartTS: 3, CommitTS: 9}
+	got, err := parseEvent(encodeEvent(e))
+	if err != nil || got != e {
+		t.Fatalf("event round trip: %+v %v", got, err)
+	}
+	if _, err := parseEvent([]byte{1}); err == nil {
+		t.Fatal("short event must fail")
+	}
+}
+
+func TestManyClientsOneServer(t *testing.T) {
+	srv, _ := startServer(t, oracle.WSI)
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				ts, err := c.Begin()
+				if err != nil {
+					t.Errorf("begin: %v", err)
+					return
+				}
+				if _, err := c.Commit(oracle.CommitRequest{
+					StartTS:  ts,
+					WriteSet: []oracle.RowID{oracle.HashRow(fmt.Sprintf("c%d-%d", i, j))},
+				}); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

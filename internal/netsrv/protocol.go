@@ -1,0 +1,230 @@
+// Package netsrv exposes the status oracle over TCP with a compact framed
+// binary protocol. The protocol is fully pipelined: a client may keep many
+// requests outstanding on one connection (the paper's Figure 5 load
+// generator keeps 100 outstanding transactions per client), and responses
+// are matched to requests by id, not by order.
+//
+// Wire format (all integers big-endian):
+//
+//	frame  := len(u32) body
+//	request body  := reqID(u64) op(u8) payload
+//	response body := reqID(u64) code(u8) payload
+//
+// A subscription switches its connection into a one-way event stream:
+// after the OK response, every subsequent frame is an event
+// (startTS(u64) commitTS(u64), commitTS==0 meaning abort).
+package netsrv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/oracle"
+)
+
+// Operation codes.
+const (
+	opBegin     = 1
+	opCommit    = 2
+	opAbort     = 3
+	opQuery     = 4
+	opForget    = 5
+	opSubscribe = 6
+	opStats     = 7
+)
+
+// Response codes.
+const (
+	codeOK    = 0
+	codeErr   = 1
+	codeEvent = 2
+)
+
+// maxFrame bounds a frame body; a commit request with the §6.1 maximum of
+// 20 rows read + 20 written is ~350 bytes, so this is generous while still
+// rejecting garbage.
+const maxFrame = 16 << 20
+
+// Errors returned by the protocol layer.
+var (
+	ErrFrameTooLarge = errors.New("netsrv: frame exceeds limit")
+	ErrBadFrame      = errors.New("netsrv: malformed frame")
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// appendUvarintRows appends a row-id set as count + fixed 8-byte ids.
+func appendRows(b []byte, rows []oracle.RowID) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(rows)))
+	b = append(b, n[:]...)
+	for _, r := range rows {
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], uint64(r))
+		b = append(b, v[:]...)
+	}
+	return b
+}
+
+func parseRows(b []byte) (rows []oracle.RowID, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadFrame
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(len(b)) < uint64(n)*8 {
+		return nil, nil, ErrBadFrame
+	}
+	if n > 0 {
+		rows = make([]oracle.RowID, n)
+		for i := range rows {
+			rows[i] = oracle.RowID(binary.BigEndian.Uint64(b[i*8 : i*8+8]))
+		}
+	}
+	return rows, b[n*8:], nil
+}
+
+// encodeCommitReq renders a commit request payload.
+func encodeCommitReq(req oracle.CommitRequest) []byte {
+	b := make([]byte, 8, 8+8+len(req.WriteSet)*8+len(req.ReadSet)*8)
+	binary.BigEndian.PutUint64(b, req.StartTS)
+	b = appendRows(b, req.WriteSet)
+	b = appendRows(b, req.ReadSet)
+	return b
+}
+
+func decodeCommitReq(b []byte) (oracle.CommitRequest, error) {
+	if len(b) < 8 {
+		return oracle.CommitRequest{}, ErrBadFrame
+	}
+	req := oracle.CommitRequest{StartTS: binary.BigEndian.Uint64(b[:8])}
+	var err error
+	rest := b[8:]
+	req.WriteSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.CommitRequest{}, err
+	}
+	req.ReadSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.CommitRequest{}, err
+	}
+	if len(rest) != 0 {
+		return oracle.CommitRequest{}, ErrBadFrame
+	}
+	return req, nil
+}
+
+// u64 renders one big-endian uint64 payload.
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func parseU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// encodeTxnStatus renders a TxnStatus payload: status(u8) commitTS(u64).
+func encodeTxnStatus(st oracle.TxnStatus) []byte {
+	b := make([]byte, 9)
+	b[0] = byte(st.Status)
+	binary.BigEndian.PutUint64(b[1:], st.CommitTS)
+	return b
+}
+
+func parseTxnStatus(b []byte) (oracle.TxnStatus, error) {
+	if len(b) != 9 {
+		return oracle.TxnStatus{}, ErrBadFrame
+	}
+	return oracle.TxnStatus{
+		Status:   oracle.Status(b[0]),
+		CommitTS: binary.BigEndian.Uint64(b[1:]),
+	}, nil
+}
+
+// encodeEvent renders an event frame body.
+func encodeEvent(e oracle.Event) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b[:8], e.StartTS)
+	binary.BigEndian.PutUint64(b[8:], e.CommitTS)
+	return b
+}
+
+func parseEvent(b []byte) (oracle.Event, error) {
+	if len(b) != 16 {
+		return oracle.Event{}, ErrBadFrame
+	}
+	return oracle.Event{
+		StartTS:  binary.BigEndian.Uint64(b[:8]),
+		CommitTS: binary.BigEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// respError renders an error response payload.
+func respError(reqID uint64, err error) []byte {
+	body := make([]byte, 9, 9+len(err.Error()))
+	binary.BigEndian.PutUint64(body[:8], reqID)
+	body[8] = codeErr
+	return append(body, err.Error()...)
+}
+
+// respOK renders a success response with payload.
+func respOK(reqID uint64, payload []byte) []byte {
+	body := make([]byte, 9, 9+len(payload))
+	binary.BigEndian.PutUint64(body[:8], reqID)
+	body[8] = codeOK
+	return append(body, payload...)
+}
+
+// splitResponse parses a response body.
+func splitResponse(body []byte) (reqID uint64, code byte, payload []byte, err error) {
+	if len(body) < 9 {
+		return 0, 0, nil, ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(body[:8]), body[8], body[9:], nil
+}
+
+// splitRequest parses a request body.
+func splitRequest(body []byte) (reqID uint64, op byte, payload []byte, err error) {
+	if len(body) < 9 {
+		return 0, 0, nil, ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(body[:8]), body[8], body[9:], nil
+}
+
+// remoteError wraps an error string sent by the server.
+type remoteError string
+
+func (e remoteError) Error() string { return fmt.Sprintf("netsrv: server error: %s", string(e)) }

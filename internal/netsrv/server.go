@@ -1,0 +1,249 @@
+package netsrv
+
+import (
+	"encoding/binary"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/oracle"
+)
+
+// Server serves a status oracle over TCP. Requests on one connection are
+// handled concurrently (the commit path blocks on the WAL group commit, so
+// serial handling would needlessly batch latencies); responses carry the
+// request id and may arrive out of order.
+type Server struct {
+	so *oracle.StatusOracle
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf, when set, receives per-connection error logs (defaults to
+	// log.Printf; tests silence it).
+	Logf func(format string, args ...interface{})
+}
+
+// NewServer wraps a status oracle for network service.
+func NewServer(so *oracle.StatusOracle) *Server {
+	return &Server{so: so, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address. Serve loops run in background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections, then waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// connWriter serializes frame writes on one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) send(body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.conn, body)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	w := &connWriter{conn: conn}
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or broken
+		}
+		reqID, op, payload, err := splitRequest(body)
+		if err != nil {
+			s.logf("netsrv: bad request from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if op == opSubscribe {
+			// The connection becomes a one-way event stream;
+			// handle inline and stop reading requests.
+			s.streamEvents(conn, w, reqID, payload)
+			return
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			resp := s.handle(reqID, op, payload)
+			if err := w.send(resp); err != nil {
+				s.logf("netsrv: write to %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// handle dispatches one request and returns the response body.
+func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
+	switch op {
+	case opBegin:
+		ts, err := s.so.Begin()
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, u64(ts))
+	case opCommit:
+		req, err := decodeCommitReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		res, err := s.so.Commit(req)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		out := make([]byte, 9)
+		if res.Committed {
+			out[0] = 1
+		}
+		binary.BigEndian.PutUint64(out[1:], res.CommitTS)
+		return respOK(reqID, out)
+	case opAbort:
+		ts, err := parseU64(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := s.so.Abort(ts); err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, nil)
+	case opQuery:
+		ts, err := parseU64(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, encodeTxnStatus(s.so.Query(ts)))
+	case opForget:
+		ts, err := parseU64(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		s.so.Forget(ts)
+		return respOK(reqID, nil)
+	case opStats:
+		st := s.so.Stats()
+		out := make([]byte, 6*8)
+		for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts} {
+			binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+		}
+		return respOK(reqID, out)
+	default:
+		return respError(reqID, errors.New("unknown operation"))
+	}
+}
+
+// streamEvents acknowledges the subscription and forwards the oracle's
+// notification stream until the connection breaks.
+func (s *Server) streamEvents(conn net.Conn, w *connWriter, reqID uint64, payload []byte) {
+	buffer := 0
+	if len(payload) == 8 {
+		buffer = int(binary.BigEndian.Uint64(payload))
+	}
+	sub := s.so.Subscribe(buffer)
+	defer sub.Close()
+	// Watch the connection: when the peer (or Server.Close) tears it
+	// down, close the subscription so the forwarding loop below exits
+	// instead of blocking forever on an idle event channel.
+	go func() {
+		for {
+			if _, err := readFrame(conn); err != nil {
+				sub.Close()
+				return
+			}
+		}
+	}()
+	if err := w.send(respOK(reqID, nil)); err != nil {
+		return
+	}
+	for e := range sub.C {
+		body := make([]byte, 9, 9+16)
+		binary.BigEndian.PutUint64(body[:8], 0)
+		body[8] = codeEvent
+		body = append(body, encodeEvent(e)...)
+		if err := w.send(body); err != nil {
+			return
+		}
+	}
+}

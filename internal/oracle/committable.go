@@ -1,0 +1,124 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Status classifies a transaction as seen by the status oracle.
+type Status uint8
+
+// Transaction statuses.
+const (
+	// StatusPending: the transaction has neither committed nor aborted
+	// (or was never seen). Readers skip its writes.
+	StatusPending Status = iota
+	// StatusCommitted: the transaction committed; CommitTS is valid.
+	StatusCommitted
+	// StatusAborted: the transaction aborted. Readers skip its writes
+	// and its garbage may be collected.
+	StatusAborted
+	// StatusUnknown: the commit table evicted this transaction
+	// (bounded mode). Clients resolve it from shadow cells, or treat it
+	// as aborted when no shadow cell exists (a healthy committer wrote
+	// back long before eviction).
+	StatusUnknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	case StatusUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// TxnStatus is the result of a status query.
+type TxnStatus struct {
+	Status   Status
+	CommitTS uint64 // valid only when Status == StatusCommitted
+}
+
+// commitTable maps transaction start timestamps to their fate. When
+// maxEntries > 0 the committed mappings form a sliding window; the largest
+// evicted start timestamp becomes the low-water mark below which unknown
+// transactions report StatusUnknown. The aborted set is kept in full: it is
+// small (aborts are rare and cleaned up by clients via forget).
+type commitTable struct {
+	mu         sync.Mutex
+	commits    map[uint64]uint64
+	order      []uint64 // start timestamps in insertion order
+	aborted    map[uint64]struct{}
+	lowWater   uint64
+	maxEntries int
+}
+
+func newCommitTable(maxEntries int) *commitTable {
+	return &commitTable{
+		commits:    make(map[uint64]uint64),
+		aborted:    make(map[uint64]struct{}),
+		maxEntries: maxEntries,
+	}
+}
+
+func (t *commitTable) addCommit(startTS, commitTS uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.commits[startTS] = commitTS
+	if t.maxEntries <= 0 {
+		return
+	}
+	t.order = append(t.order, startTS)
+	for len(t.commits) > t.maxEntries && len(t.order) > 0 {
+		old := t.order[0]
+		t.order = t.order[1:]
+		if _, ok := t.commits[old]; ok {
+			delete(t.commits, old)
+			if old > t.lowWater {
+				t.lowWater = old
+			}
+		}
+	}
+}
+
+func (t *commitTable) addAbort(startTS uint64) {
+	t.mu.Lock()
+	t.aborted[startTS] = struct{}{}
+	t.mu.Unlock()
+}
+
+// forget drops an aborted transaction once its garbage has been deleted
+// from the data store.
+func (t *commitTable) forget(startTS uint64) {
+	t.mu.Lock()
+	delete(t.aborted, startTS)
+	t.mu.Unlock()
+}
+
+func (t *commitTable) query(startTS uint64) TxnStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tc, ok := t.commits[startTS]; ok {
+		return TxnStatus{Status: StatusCommitted, CommitTS: tc}
+	}
+	if _, ok := t.aborted[startTS]; ok {
+		return TxnStatus{Status: StatusAborted}
+	}
+	if startTS <= t.lowWater {
+		return TxnStatus{Status: StatusUnknown}
+	}
+	return TxnStatus{Status: StatusPending}
+}
+
+// Forget drops an aborted transaction's record after the client has
+// cleaned up its tentative writes (§2.2 footnote on recovery cost).
+func (s *StatusOracle) Forget(startTS uint64) {
+	s.table.forget(startTS)
+}

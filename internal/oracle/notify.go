@@ -1,0 +1,126 @@
+package oracle
+
+import "sync"
+
+// Event is one commit or abort notification. CommitTS == 0 means abort.
+type Event struct {
+	StartTS  uint64
+	CommitTS uint64
+}
+
+// Committed reports whether the event announces a commit.
+func (e Event) Committed() bool { return e.CommitTS != 0 }
+
+// Subscription receives the oracle's commit/abort stream. If the subscriber
+// falls behind and its buffer fills, events are dropped and Lagged becomes
+// true; a lagged client must fall back to direct Query calls for timestamps
+// it has no cached entry for, which keeps the scheme correct (a dropped
+// event can only cause an extra round trip, never a wrong answer).
+type Subscription struct {
+	C <-chan Event
+
+	ch     chan Event
+	mu     sync.Mutex
+	lagged bool
+	closed bool
+	owner  *broadcaster
+}
+
+// Lagged reports whether any event was dropped since the last call, and
+// clears the flag.
+func (s *Subscription) Lagged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lagged
+	s.lagged = false
+	return l
+}
+
+// Close detaches the subscription and closes its channel.
+func (s *Subscription) Close() {
+	s.owner.unsubscribe(s)
+}
+
+// broadcaster fans events out to subscribers without ever blocking the
+// commit path.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[*Subscription]struct{}
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[*Subscription]struct{})}
+}
+
+func (b *broadcaster) subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &Subscription{ch: make(chan Event, buffer), owner: b}
+	s.C = s.ch
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+func (b *broadcaster) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	_, present := b.subs[s]
+	delete(b.subs, s)
+	b.mu.Unlock()
+	s.mu.Lock()
+	if present && !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+}
+
+// LocalBroadcaster is an exported event fan-out with the same semantics as
+// the oracle's internal one. Transport adapters (internal/netsrv) use it to
+// re-publish a remote oracle's event stream to local subscriptions, so the
+// transaction layer consumes one Subscription type regardless of transport.
+type LocalBroadcaster struct {
+	b *broadcaster
+}
+
+// NewLocalBroadcaster returns an empty broadcaster.
+func NewLocalBroadcaster() *LocalBroadcaster {
+	return &LocalBroadcaster{b: newBroadcaster()}
+}
+
+// Publish fans an event out to all subscriptions without blocking.
+func (lb *LocalBroadcaster) Publish(e Event) { lb.b.publish(e) }
+
+// Subscribe registers a new subscription.
+func (lb *LocalBroadcaster) Subscribe(buffer int) *Subscription {
+	return lb.b.subscribe(buffer)
+}
+
+// Close terminates every subscription.
+func (lb *LocalBroadcaster) Close() {
+	lb.b.mu.Lock()
+	subs := make([]*Subscription, 0, len(lb.b.subs))
+	for s := range lb.b.subs {
+		subs = append(subs, s)
+	}
+	lb.b.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+func (b *broadcaster) publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.mu.Lock()
+			s.lagged = true
+			s.mu.Unlock()
+		}
+	}
+}

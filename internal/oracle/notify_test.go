@@ -1,0 +1,119 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubscriptionReceivesCommitsAndAborts(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	sub := so.Subscribe(16)
+	defer sub.Close()
+
+	ts := mustBegin(t, so)
+	res := mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: rows("x")})
+	ts2 := mustBegin(t, so)
+	if err := so.Abort(ts2); err != nil {
+		t.Fatal(err)
+	}
+
+	e1 := recvEvent(t, sub)
+	if !e1.Committed() || e1.StartTS != ts || e1.CommitTS != res.CommitTS {
+		t.Fatalf("event 1 = %+v, want commit of %d@%d", e1, ts, res.CommitTS)
+	}
+	e2 := recvEvent(t, sub)
+	if e2.Committed() || e2.StartTS != ts2 {
+		t.Fatalf("event 2 = %+v, want abort of %d", e2, ts2)
+	}
+}
+
+func recvEvent(t *testing.T, sub *Subscription) Event {
+	t.Helper()
+	select {
+	case e, ok := <-sub.C:
+		if !ok {
+			t.Fatal("subscription closed unexpectedly")
+		}
+		return e
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return Event{}
+	}
+}
+
+func TestReadOnlyCommitsNotBroadcast(t *testing.T) {
+	// Read-only commits carry no information for readers (they install
+	// no versions), so the oracle does not broadcast them.
+	so := newOracle(t, Config{Engine: WSI})
+	sub := so.Subscribe(4)
+	defer sub.Close()
+	ts := mustBegin(t, so)
+	mustCommit(t, so, CommitRequest{StartTS: ts})
+	select {
+	case e := <-sub.C:
+		t.Fatalf("unexpected event for read-only commit: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSlowSubscriberDropsAndFlagsLag(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	sub := so.Subscribe(1) // tiny buffer, never drained during publishing
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		ts := mustBegin(t, so)
+		mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: rows("x", "y")[:1]})
+	}
+	if !sub.Lagged() {
+		t.Fatal("overflowing subscription must report lag")
+	}
+	if sub.Lagged() {
+		t.Fatal("Lagged must clear the flag")
+	}
+	// The commit path must not have blocked: all commits present.
+	if s := so.Stats(); s.Commits != 5 {
+		t.Fatalf("commits = %d, want 5", s.Commits)
+	}
+}
+
+func TestSubscriptionCloseIdempotent(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	sub := so.Subscribe(4)
+	sub.Close()
+	sub.Close() // must not panic
+	// Channel must be closed.
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel should be closed after Close")
+	}
+	// Publishing after close must not panic.
+	ts := mustBegin(t, so)
+	mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: rows("x")})
+}
+
+func TestMultipleSubscribersAllReceive(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	subs := []*Subscription{so.Subscribe(8), so.Subscribe(8), so.Subscribe(8)}
+	ts := mustBegin(t, so)
+	mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: rows("x")})
+	for i, sub := range subs {
+		e := recvEvent(t, sub)
+		if e.StartTS != ts {
+			t.Fatalf("subscriber %d got %+v", i, e)
+		}
+		sub.Close()
+	}
+}
+
+func TestLocalBroadcaster(t *testing.T) {
+	lb := NewLocalBroadcaster()
+	sub := lb.Subscribe(4)
+	lb.Publish(Event{StartTS: 1, CommitTS: 2})
+	e := recvEvent(t, sub)
+	if e.StartTS != 1 || e.CommitTS != 2 {
+		t.Fatalf("event = %+v", e)
+	}
+	lb.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("Close must close subscriber channels")
+	}
+}

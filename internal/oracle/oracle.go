@@ -1,0 +1,416 @@
+// Package oracle implements the paper's primary contribution: the
+// centralized, lock-free status oracle that decides transaction commits.
+//
+// The status oracle receives commit requests carrying the identifiers of
+// the rows a transaction wrote (and, under write-snapshot isolation, also
+// the rows it read), checks them against the recent commit history, and
+// either commits the transaction — assigning it a commit timestamp — or
+// aborts it:
+//
+//   - Snapshot isolation (SI, Algorithm 1) aborts on write-write conflicts:
+//     the write set is checked against lastCommit.
+//   - Write-snapshot isolation (WSI, Algorithm 2) aborts on read-write
+//     conflicts: the read set is checked against lastCommit, which makes
+//     the resulting histories serializable (paper §4.2).
+//
+// Both engines share the bounded-memory scheme of Algorithm 3: lastCommit
+// retains only the most recently written NR rows, and Tmax — the maximum
+// commit timestamp ever evicted — pessimistically aborts transactions whose
+// snapshot is older than the retained window.
+//
+// Read-only transactions (empty write set) commit immediately without any
+// conflict check, timestamp allocation, or log write (§4.1 condition 3,
+// §5.1), so they never abort and cost the status oracle nothing.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/tso"
+	"repro/internal/wal"
+)
+
+// RowID is the 8-byte row identifier submitted to the status oracle.
+// Clients hash row keys; the oracle never sees keys (Appendix A estimates
+// 8 bytes per identifier).
+type RowID uint64
+
+// HashRow maps a row key to its identifier using FNV-1a.
+func HashRow(key string) RowID {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return RowID(h)
+}
+
+// Engine selects the conflict-detection rule.
+type Engine uint8
+
+// Supported engines.
+const (
+	// SI detects write-write conflicts (Algorithm 1).
+	SI Engine = iota
+	// WSI detects read-write conflicts (Algorithm 2) and is serializable.
+	WSI
+)
+
+func (e Engine) String() string {
+	switch e {
+	case SI:
+		return "SI"
+	case WSI:
+		return "WSI"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// Config parameterizes a status oracle.
+type Config struct {
+	// Engine selects SI or WSI conflict detection.
+	Engine Engine
+	// MaxRows bounds the number of rows retained in lastCommit
+	// (Algorithm 3's NR). Zero keeps every row (no Tmax aborts).
+	MaxRows int
+	// MaxCommits bounds the commit table (start→commit timestamp map).
+	// Zero keeps every mapping. When bounded, queries for evicted
+	// transactions return StatusUnknown and clients must resolve commit
+	// timestamps from shadow cells (write-back mode).
+	MaxCommits int
+	// Shards splits lastCommit into independently locked shards.
+	// 1 reproduces the paper's single critical section (§6.3); larger
+	// values implement the paper's proposed future-work optimization.
+	Shards int
+	// WAL, when non-nil, persists every commit and abort decision before
+	// it is acknowledged. Nil disables durability.
+	WAL *wal.Writer
+	// TSO supplies timestamps. Required.
+	TSO *tso.Oracle
+}
+
+// CommitRequest is a transaction's commit submission (§5): the start
+// timestamp, the identifiers of written rows, and — used only by WSI — the
+// identifiers of read rows. Read-only transactions submit empty sets.
+type CommitRequest struct {
+	StartTS  uint64
+	WriteSet []RowID
+	ReadSet  []RowID
+}
+
+// ReadOnly reports whether the request is from a read-only transaction.
+func (r *CommitRequest) ReadOnly() bool { return len(r.WriteSet) == 0 }
+
+// CommitResult is the status oracle's decision.
+type CommitResult struct {
+	Committed bool
+	// CommitTS is set when Committed. For read-only transactions it
+	// equals the start timestamp (their snapshot never moves, §4.1).
+	CommitTS uint64
+}
+
+// Errors returned by the status oracle.
+var (
+	ErrNoTSO = errors.New("oracle: config requires a timestamp oracle")
+)
+
+// StatusOracle is the centralized commit arbiter. All methods are safe for
+// concurrent use.
+type StatusOracle struct {
+	cfg    Config
+	tso    *tso.Oracle
+	shards []*shard
+	table  *commitTable
+	bcast  *broadcaster
+	stats  statsCollector
+}
+
+// New creates a status oracle.
+func New(cfg Config) (*StatusOracle, error) {
+	if cfg.TSO == nil {
+		return nil, ErrNoTSO
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	s := &StatusOracle{
+		cfg:   cfg,
+		tso:   cfg.TSO,
+		table: newCommitTable(cfg.MaxCommits),
+		bcast: newBroadcaster(),
+	}
+	perShard := 0
+	if cfg.MaxRows > 0 {
+		perShard = cfg.MaxRows / cfg.Shards
+		if perShard == 0 {
+			perShard = 1
+		}
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(perShard)
+	}
+	return s, nil
+}
+
+// Engine returns the configured conflict-detection engine.
+func (s *StatusOracle) Engine() Engine { return s.cfg.Engine }
+
+// Begin allocates a start timestamp.
+func (s *StatusOracle) Begin() (uint64, error) {
+	ts, err := s.tso.Next()
+	if err != nil {
+		return 0, err
+	}
+	s.stats.begin()
+	return ts, nil
+}
+
+// shardOf returns the shard index owning a row.
+func (s *StatusOracle) shardOf(r RowID) int {
+	return int(uint64(r) % uint64(len(s.shards)))
+}
+
+// lockSet computes the ordered set of shard indexes covering rows, so locks
+// are always acquired in ascending order (deadlock freedom).
+func (s *StatusOracle) lockSet(a, b []RowID) []int {
+	if len(s.shards) == 1 {
+		return []int{0}
+	}
+	seen := make(map[int]struct{}, len(a)+len(b))
+	for _, r := range a {
+		seen[s.shardOf(r)] = struct{}{}
+	}
+	for _, r := range b {
+		seen[s.shardOf(r)] = struct{}{}
+	}
+	idx := make([]int, 0, len(seen))
+	for i := range seen {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// Commit processes a commit request (Algorithms 1–3). It returns the
+// decision; an error indicates an infrastructure failure (timestamp oracle
+// or WAL), not a conflict.
+func (s *StatusOracle) Commit(req CommitRequest) (CommitResult, error) {
+	// Read-only fast path (§5.1): no check, no timestamp, no log write.
+	if req.ReadOnly() {
+		s.stats.readOnlyCommit()
+		return CommitResult{Committed: true, CommitTS: req.StartTS}, nil
+	}
+
+	checkRows := req.WriteSet // SI: write-write conflicts
+	if s.cfg.Engine == WSI {
+		checkRows = req.ReadSet // WSI: read-write conflicts
+	}
+
+	locks := s.lockSet(checkRows, req.WriteSet)
+	for _, i := range locks {
+		s.shards[i].mu.Lock()
+	}
+
+	// Conflict check (Algorithm 3 lines 1–11).
+	conflict := false
+	tmaxAbort := false
+	for _, r := range checkRows {
+		sh := s.shards[s.shardOf(r)]
+		if tc, ok := sh.lastCommit[r]; ok {
+			if tc > req.StartTS {
+				conflict = true
+				break
+			}
+		} else if sh.tmax > req.StartTS {
+			conflict = true
+			tmaxAbort = true
+			break
+		}
+	}
+	if conflict {
+		for j := len(locks) - 1; j >= 0; j-- {
+			s.shards[locks[j]].mu.Unlock()
+		}
+		s.stats.conflictAbort(tmaxAbort)
+		s.recordAbort(req.StartTS)
+		return CommitResult{}, nil
+	}
+
+	// Commit: assign the commit timestamp and update lastCommit
+	// (Algorithm 3 lines 12–15). The commit-table entry is published by
+	// NextWith *atomically with the timestamp assignment*: no transaction
+	// can obtain a start timestamp above commitTS before the entry is
+	// queryable, which upholds the snapshot rule of §2 — a reader with
+	// Ts > Tc always observes the commit. (The paper integrates the
+	// timestamp oracle into the status oracle's critical section for
+	// exactly this reason, Appendix A.) Like the paper's status oracle,
+	// memory state is updated first and the client acknowledged only
+	// after the WAL accepts the record.
+	commitTS, err := s.tso.NextWith(func(ts uint64) {
+		s.table.addCommit(req.StartTS, ts)
+	})
+	if err != nil {
+		for j := len(locks) - 1; j >= 0; j-- {
+			s.shards[locks[j]].mu.Unlock()
+		}
+		return CommitResult{}, err
+	}
+	for _, r := range req.WriteSet {
+		s.shards[s.shardOf(r)].update(r, commitTS)
+	}
+	for j := len(locks) - 1; j >= 0; j-- {
+		s.shards[locks[j]].mu.Unlock()
+	}
+
+	// Persist before acknowledging (Appendix A): the WAL writer batches,
+	// so this costs one group-commit latency, not one I/O per commit.
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Append(encodeCommitRecord(req.StartTS, commitTS, req.WriteSet)); err != nil {
+			return CommitResult{}, fmt.Errorf("oracle: persist commit: %w", err)
+		}
+	}
+	s.stats.commit()
+	s.bcast.publish(Event{StartTS: req.StartTS, CommitTS: commitTS})
+	return CommitResult{Committed: true, CommitTS: commitTS}, nil
+}
+
+// Abort records an explicit client abort so that readers skip the
+// transaction's tentative writes.
+func (s *StatusOracle) Abort(startTS uint64) error {
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Append(encodeAbortRecord(startTS)); err != nil {
+			return fmt.Errorf("oracle: persist abort: %w", err)
+		}
+	}
+	s.table.addAbort(startTS)
+	s.stats.explicitAbort()
+	s.bcast.publish(Event{StartTS: startTS})
+	return nil
+}
+
+// recordAbort registers a conflict abort in the commit table and notifies
+// subscribers. Conflict aborts are also persisted when a WAL is configured;
+// losing one in a crash is safe because recovery treats unknown
+// transactions as uncommitted.
+func (s *StatusOracle) recordAbort(startTS uint64) {
+	if s.cfg.WAL != nil {
+		// Best-effort: a failed abort record only costs an extra
+		// query after recovery.
+		_, _ = s.cfg.WAL.AppendAsync(encodeAbortRecord(startTS))
+	}
+	s.table.addAbort(startTS)
+	s.bcast.publish(Event{StartTS: startTS})
+}
+
+// Query reports the status of the transaction with the given start
+// timestamp; readers use it to decide snapshot visibility (§2.2).
+func (s *StatusOracle) Query(startTS uint64) TxnStatus {
+	return s.table.query(startTS)
+}
+
+// Subscribe registers for commit/abort notifications; clients use the
+// stream to maintain a local replica of the commit table (§2.2, the
+// implementation option the paper's experiments use).
+func (s *StatusOracle) Subscribe(buffer int) *Subscription {
+	return s.bcast.subscribe(buffer)
+}
+
+// Tmax returns the maximum commit timestamp evicted from lastCommit
+// across all shards (0 when nothing was evicted).
+func (s *StatusOracle) Tmax() uint64 {
+	var max uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.tmax > max {
+			max = sh.tmax
+		}
+		sh.mu.Unlock()
+	}
+	return max
+}
+
+// RetainedRows returns the number of rows currently held in lastCommit.
+func (s *StatusOracle) RetainedRows() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.lastCommit)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// LastCommitOf returns the retained last-commit timestamp of a row; ok is
+// false if the row is not retained (evicted or never written).
+func (s *StatusOracle) LastCommitOf(r RowID) (uint64, bool) {
+	sh := s.shards[s.shardOf(r)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tc, ok := sh.lastCommit[r]
+	return tc, ok
+}
+
+// Stats returns a snapshot of the oracle's counters.
+func (s *StatusOracle) Stats() Stats { return s.stats.snapshot() }
+
+// shard is one lock-striped fragment of the lastCommit state. capacity 0
+// means unbounded.
+type shard struct {
+	mu         sync.Mutex
+	lastCommit map[RowID]uint64
+	queue      []evictEntry // FIFO of insertions for NR-bounded eviction
+	capacity   int
+	tmax       uint64
+}
+
+type evictEntry struct {
+	row RowID
+	ts  uint64
+}
+
+func newShard(capacity int) *shard {
+	return &shard{lastCommit: make(map[RowID]uint64), capacity: capacity}
+}
+
+// update sets the row's last commit timestamp and evicts the oldest rows
+// beyond capacity, maintaining tmax. Caller holds sh.mu.
+func (sh *shard) update(r RowID, ts uint64) {
+	sh.lastCommit[r] = ts
+	if sh.capacity <= 0 {
+		return
+	}
+	sh.queue = append(sh.queue, evictEntry{row: r, ts: ts})
+	// Hot rows leave stale queue entries behind; compact when they
+	// dominate so the queue stays O(capacity).
+	if len(sh.queue) > 4*sh.capacity+16 {
+		live := sh.queue[:0]
+		for _, e := range sh.queue {
+			if cur, ok := sh.lastCommit[e.row]; ok && cur == e.ts {
+				live = append(live, e)
+			}
+		}
+		sh.queue = live
+	}
+	for len(sh.lastCommit) > sh.capacity && len(sh.queue) > 0 {
+		head := sh.queue[0]
+		sh.queue = sh.queue[1:]
+		// Only evict if the queued entry is still the row's current
+		// value; otherwise a newer update supersedes it and this
+		// queue entry is stale.
+		if cur, ok := sh.lastCommit[head.row]; ok && cur == head.ts {
+			delete(sh.lastCommit, head.row)
+			if head.ts > sh.tmax {
+				sh.tmax = head.ts
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package oracle
+
+import "sync"
+
+// Stats is a snapshot of the status oracle's counters. TmaxAborts counts
+// the pessimistic aborts of Algorithm 3 line 8 — transactions aborted not
+// because a conflict was observed but because their snapshot predates the
+// retained lastCommit window; the paper argues these are negligible when
+// Tmax - Ts(txn) is much larger than the maximum commit time.
+type Stats struct {
+	Begins          int64
+	Commits         int64
+	ReadOnlyCommits int64
+	ConflictAborts  int64
+	TmaxAborts      int64
+	ExplicitAborts  int64
+}
+
+// AbortRate returns aborts / (commits + aborts), the quantity plotted in
+// Figures 8 and 10. Read-only commits are included in the denominator
+// because the paper's mixed workload counts them as transactions.
+func (s Stats) AbortRate() float64 {
+	aborts := float64(s.ConflictAborts + s.ExplicitAborts)
+	total := aborts + float64(s.Commits+s.ReadOnlyCommits)
+	if total == 0 {
+		return 0
+	}
+	return aborts / total
+}
+
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCollector) begin() {
+	c.mu.Lock()
+	c.s.Begins++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) commit() {
+	c.mu.Lock()
+	c.s.Commits++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) readOnlyCommit() {
+	c.mu.Lock()
+	c.s.ReadOnlyCommits++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) conflictAbort(tmax bool) {
+	c.mu.Lock()
+	c.s.ConflictAborts++
+	if tmax {
+		c.s.TmaxAborts++
+	}
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) explicitAbort() {
+	c.mu.Lock()
+	c.s.ExplicitAborts++
+	c.mu.Unlock()
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

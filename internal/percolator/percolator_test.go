@@ -1,0 +1,354 @@
+package percolator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/tso"
+)
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	return NewClient(kvstore.New(kvstore.Config{}), tso.New(0, nil), DefaultConfig())
+}
+
+func pbegin(t *testing.T, c *Client) *Txn {
+	t.Helper()
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	c := newClient(t)
+	t1 := pbegin(t, c)
+	if err := t1.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := pbegin(t, c)
+	v, ok, err := t2.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestSnapshotRead(t *testing.T) {
+	c := newClient(t)
+	t1 := pbegin(t, c)
+	t1.Put("k", []byte("old"))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reader := pbegin(t, c)
+	t2 := pbegin(t, c)
+	t2.Put("k", []byte("new"))
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := reader.Get("k")
+	if err != nil || !ok || string(v) != "old" {
+		t.Fatalf("snapshot read = %q,%v,%v want old", v, ok, err)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	c := newClient(t)
+	t1 := pbegin(t, c)
+	t2 := pbegin(t, c)
+	t1.Put("k", []byte("a"))
+	t2.Put("k", []byte("b"))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("t2 commit = %v, want ErrConflict", err)
+	}
+	// t2's prewrite garbage must not linger as a lock.
+	t3 := pbegin(t, c)
+	if _, _, err := t3.Get("k"); err != nil {
+		t.Fatalf("residual lock blocks readers: %v", err)
+	}
+}
+
+func TestLockCollisionAborts(t *testing.T) {
+	c := newClient(t)
+	t1 := pbegin(t, c)
+	t2 := pbegin(t, c)
+	t1.Put("k", []byte("a"))
+	t2.Put("k", []byte("b"))
+	// Prewrite t1's lock by starting its commit in a goroutine that we
+	// hold between phases is complex; instead prewrite directly.
+	if err := t1.prewrite("k", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.prewrite("k", "k"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("lock collision = %v, want ErrConflict", err)
+	}
+	t1.rollback([]string{"k"})
+}
+
+func TestReadBlocksOnLiveLockThenProceeds(t *testing.T) {
+	c := newClient(t)
+	writer := pbegin(t, c)
+	writer.Put("k", []byte("v"))
+
+	done := make(chan error, 1)
+	go func() {
+		// Commit after a short delay so the reader first sees a lock.
+		time.Sleep(20 * time.Millisecond)
+		done <- writer.Commit()
+	}()
+	// Prewrite now so the lock exists before the reader runs.
+	// (Commit will prewrite again idempotently? No — so instead the
+	// reader starts after the goroutine's commit began.)
+	time.Sleep(5 * time.Millisecond)
+
+	reader := pbegin(t, c)
+	v, ok, err := reader.Get("k")
+	if err != nil {
+		t.Fatalf("reader error: %v", err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("writer commit: %v", werr)
+	}
+	// The reader started after the writer's start; if it observed the
+	// commit it must have the value, otherwise it legitimately read
+	// nothing (its snapshot may predate the commit record).
+	_ = v
+	_ = ok
+}
+
+// TestRollForwardAfterPrimaryCommit reproduces the recovery path: a writer
+// commits its primary and "crashes" before completing the secondary; a
+// reader of the secondary must roll the commit forward.
+func TestRollForwardAfterPrimaryCommit(t *testing.T) {
+	store := kvstore.New(kvstore.Config{})
+	clock := tso.New(0, nil)
+	c := NewClient(store, clock, DefaultConfig())
+
+	start := clock.MustNext()
+	// Prewrite primary "a" and secondary "b" by hand.
+	store.Put(prefixData+"a", start, []byte("va"))
+	store.Put(prefixLock+"a", start, encodeLock(lockRecord{Primary: "a", StartTS: start, Deadline: time.Now().Add(time.Hour).UnixNano()}))
+	store.Put(prefixData+"b", start, []byte("vb"))
+	store.Put(prefixLock+"b", start, encodeLock(lockRecord{Primary: "a", StartTS: start, Deadline: time.Now().Add(time.Hour).UnixNano()}))
+	// Commit the primary only (crash before secondary completion).
+	commitTS := clock.MustNext()
+	store.Put(prefixWrite+"a", commitTS, encodeWrite(start))
+	store.DeleteVersion(prefixLock+"a", start)
+
+	reader := pbegin(t, c)
+	v, ok, err := reader.Get("b")
+	if err != nil || !ok || string(v) != "vb" {
+		t.Fatalf("roll-forward read = %q,%v,%v want vb", v, ok, err)
+	}
+	// The stale lock must be gone and the write record installed.
+	if ls := store.Get(prefixLock+"b", ^uint64(0), 0); len(ls) != 0 {
+		t.Fatal("stale secondary lock survived roll-forward")
+	}
+}
+
+// TestRollBackExpiredLock reproduces the paper's criticism: a failed
+// transaction's locks block others until the TTL allows rollback.
+func TestRollBackExpiredLock(t *testing.T) {
+	store := kvstore.New(kvstore.Config{})
+	clock := tso.New(0, nil)
+	cfg := DefaultConfig()
+	cfg.LockTTL = 10 * time.Millisecond
+	c := NewClient(store, clock, cfg)
+
+	// Seed a committed value.
+	t0 := pbegin(t, c)
+	t0.Put("k", []byte("committed"))
+	if err := t0.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "crashed" writer left an uncommitted lock.
+	start := clock.MustNext()
+	store.Put(prefixData+"k", start, []byte("zombie"))
+	store.Put(prefixLock+"k", start, encodeLock(lockRecord{Primary: "k", StartTS: start, Deadline: time.Now().Add(10 * time.Millisecond).UnixNano()}))
+
+	time.Sleep(15 * time.Millisecond) // let the TTL expire
+	reader := pbegin(t, c)
+	v, ok, err := reader.Get("k")
+	if err != nil || !ok || string(v) != "committed" {
+		t.Fatalf("read after rollback = %q,%v,%v", v, ok, err)
+	}
+	// Zombie data and lock must be purged.
+	if ls := store.Get(prefixLock+"k", ^uint64(0), 0); len(ls) != 0 {
+		t.Fatal("expired lock not rolled back")
+	}
+	if _, err := store.GetVersion(prefixData+"k", start); err == nil {
+		t.Fatal("zombie data survived rollback")
+	}
+}
+
+// TestLiveLockBlocksUntilTimeout shows the blocking cost of lock-based SI:
+// a reader stuck behind a healthy writer's lock times out.
+func TestLiveLockBlocksUntilTimeout(t *testing.T) {
+	store := kvstore.New(kvstore.Config{})
+	clock := tso.New(0, nil)
+	cfg := DefaultConfig()
+	cfg.LockTTL = time.Hour // owner considered alive forever
+	cfg.LockWait = 30 * time.Millisecond
+	cfg.RetryInterval = 5 * time.Millisecond
+	c := NewClient(store, clock, cfg)
+
+	start := clock.MustNext()
+	store.Put(prefixData+"k", start, []byte("slow"))
+	store.Put(prefixLock+"k", start, encodeLock(lockRecord{Primary: "k", StartTS: start, Deadline: time.Now().Add(time.Hour).UnixNano()}))
+
+	reader := pbegin(t, c)
+	_, _, err := reader.Get("k")
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	c := newClient(t)
+	t1 := pbegin(t, c)
+	t1.Put("k", []byte("v"))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := pbegin(t, c)
+	if err := t2.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := pbegin(t, c)
+	if _, ok, _ := t3.Get("k"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestReadOnlyCommitTrivial(t *testing.T) {
+	c := newClient(t)
+	tx := pbegin(t, c)
+	if _, _, err := tx.Get("whatever"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+}
+
+func TestClosedTxn(t *testing.T) {
+	c := newClient(t)
+	tx := pbegin(t, c)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after commit: %v", err)
+	}
+	if _, _, err := tx.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestConcurrentDisjointCommits(t *testing.T) {
+	c := newClient(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx, err := c.Begin()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := 0; i < 5; i++ {
+				if err := tx.Put(fmt.Sprintf("g%d-k%d", g, i), []byte("v")); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+			errs[g] = tx.Commit()
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	// All rows visible.
+	check := pbegin(t, c)
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 5; i++ {
+			if _, ok, err := check.Get(fmt.Sprintf("g%d-k%d", g, i)); err != nil || !ok {
+				t.Fatalf("row g%d-k%d lost: %v", g, i, err)
+			}
+		}
+	}
+}
+
+func TestConcurrentHotRowExactlyOneWins(t *testing.T) {
+	c := newClient(t)
+	const n = 16
+	// All start before any commits: true temporal overlap.
+	txns := make([]*Txn, n)
+	for i := range txns {
+		txns[i] = pbegin(t, c)
+		if err := txns[i].Put("hot", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([]error, n)
+	for i := range txns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = txns[i].Commit()
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for _, err := range results {
+		if err == nil {
+			wins++
+		} else if !errors.Is(err, ErrConflict) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d winners on a hot row, want exactly 1", wins)
+	}
+}
+
+func TestLockRecordRoundTrip(t *testing.T) {
+	in := lockRecord{Primary: "some/primary", StartTS: 42, Deadline: 999}
+	out, err := decodeLock(encodeLock(in))
+	if err != nil || out != in {
+		t.Fatalf("round trip: %+v %v", out, err)
+	}
+	if _, err := decodeLock([]byte("short")); err == nil {
+		t.Fatal("short lock record must fail")
+	}
+	if ts, err := decodeWrite(encodeWrite(77)); err != nil || ts != 77 {
+		t.Fatalf("write record round trip: %d %v", ts, err)
+	}
+	if _, err := decodeWrite([]byte{1, 2, 3}); err == nil {
+		t.Fatal("bad write record must fail")
+	}
+}

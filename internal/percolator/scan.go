@@ -1,0 +1,104 @@
+package percolator
+
+import (
+	"sort"
+	"time"
+)
+
+// KV is one row of a scan result.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// prefixEnd returns the exclusive upper bound of keys carrying prefix.
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	b[len(b)-1]++ // prefixes here end in ':' (0x3A), never 0xFF
+	return string(b)
+}
+
+// Scan returns the live rows in [startKey, endKey) of the transaction's
+// snapshot, in key order, at most limit rows (limit <= 0 means all).
+// Like Get, it resolves or waits out locks it encounters: Percolator
+// readers cannot skip a locked row because the lock may belong to a
+// transaction that committed below the reader's snapshot (§2.1).
+func (t *Txn) Scan(startKey, endKey string, limit int) ([]KV, error) {
+	if t.done {
+		return nil, ErrClosed
+	}
+	c := t.client
+
+	// Resolve locks overlapping the range and visible to our snapshot.
+	lockEnd := prefixEnd(prefixLock)
+	if endKey != "" {
+		lockEnd = prefixLock + endKey
+	}
+	deadline := c.clock().Add(c.cfg.LockWait)
+	for {
+		locked := false
+		for _, row := range c.store.Scan(prefixLock+startKey, lockEnd, t.startTS, 1, 0) {
+			key := row.Key[len(prefixLock):]
+			blocked, err := c.maybeResolveLock(key, t.startTS)
+			if err != nil {
+				return nil, err
+			}
+			if blocked {
+				locked = true
+			}
+		}
+		if !locked {
+			break
+		}
+		if c.clock().After(deadline) {
+			return nil, ErrLockTimeout
+		}
+		time.Sleep(c.cfg.RetryInterval)
+	}
+
+	// Read the newest write record below the snapshot for each row.
+	writeEnd := prefixEnd(prefixWrite)
+	if endKey != "" {
+		writeEnd = prefixWrite + endKey
+	}
+	merged := make(map[string][]byte)
+	for _, row := range c.store.Scan(prefixWrite+startKey, writeEnd, t.startTS, 1, 0) {
+		key := row.Key[len(prefixWrite):]
+		if len(row.Versions) == 0 {
+			continue
+		}
+		dataTS, err := decodeWrite(row.Versions[0].Value)
+		if err != nil {
+			return nil, err
+		}
+		dv, err := c.store.GetVersion(prefixData+key, dataTS)
+		if err != nil || len(dv.Value) == 0 {
+			continue // rolled forward delete or tombstone
+		}
+		merged[key] = append([]byte(nil), dv.Value...)
+	}
+	// Own buffered writes override.
+	for k, v := range t.writes {
+		if k < startKey || (endKey != "" && k >= endKey) {
+			continue
+		}
+		if v == nil {
+			delete(merged, k)
+		} else {
+			merged[k] = append([]byte(nil), v...)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, KV{Key: k, Value: merged[k]})
+	}
+	return out, nil
+}

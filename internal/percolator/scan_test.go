@@ -1,0 +1,141 @@
+package percolator
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/tso"
+)
+
+func TestScanBasic(t *testing.T) {
+	c := newClient(t)
+	w := pbegin(t, c)
+	for i := 0; i < 5; i++ {
+		if err := w.Put(fmt.Sprintf("k%d", i), []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := pbegin(t, c)
+	rows, err := r.Scan("k1", "k4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Key != "k1" || rows[2].Key != "k3" {
+		t.Fatalf("scan = %v", rows)
+	}
+}
+
+func TestScanSnapshotAndOwnWrites(t *testing.T) {
+	c := newClient(t)
+	w := pbegin(t, c)
+	w.Put("a", []byte("1"))
+	w.Put("c", []byte("3"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := pbegin(t, c)
+	r.Put("b", []byte("2"))
+	r.Delete("c")
+	// Later commit invisible to r's snapshot.
+	w2 := pbegin(t, c)
+	w2.Put("d", []byte("4"))
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Scan("", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "1", "b": "2"}
+	if len(rows) != len(want) {
+		t.Fatalf("scan = %v", rows)
+	}
+	for _, kv := range rows {
+		if want[kv.Key] != string(kv.Value) {
+			t.Fatalf("row %q = %q", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestScanLimit(t *testing.T) {
+	c := newClient(t)
+	w := pbegin(t, c)
+	for i := 0; i < 8; i++ {
+		w.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := pbegin(t, c)
+	rows, err := r.Scan("", "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("limit ignored: %d rows", len(rows))
+	}
+}
+
+func TestScanResolvesExpiredLocks(t *testing.T) {
+	store := kvstore.New(kvstore.Config{})
+	clock := tso.New(0, nil)
+	cfg := DefaultConfig()
+	cfg.LockTTL = 5 * time.Millisecond
+	c := NewClient(store, clock, cfg)
+
+	w := pbegin(t, c)
+	w.Put("k1", []byte("live"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crashed writer's lock inside the scan range.
+	start := clock.MustNext()
+	store.Put(prefixData+"k2", start, []byte("zombie"))
+	store.Put(prefixLock+"k2", start, encodeLock(lockRecord{
+		Primary: "k2", StartTS: start,
+		Deadline: time.Now().Add(5 * time.Millisecond).UnixNano(),
+	}))
+	time.Sleep(10 * time.Millisecond)
+
+	r := pbegin(t, c)
+	rows, err := r.Scan("", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Key != "k1" {
+		t.Fatalf("scan after lock rollback = %v", rows)
+	}
+}
+
+func TestScanDeleteInvisible(t *testing.T) {
+	c := newClient(t)
+	w := pbegin(t, c)
+	w.Put("k", []byte("v"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d := pbegin(t, c)
+	d.Delete("k")
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := pbegin(t, c)
+	rows, err := r.Scan("", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("deleted row visible in scan: %v", rows)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if prefixEnd("w:") != "w;" {
+		t.Fatalf("prefixEnd(w:) = %q", prefixEnd("w:"))
+	}
+}

@@ -1,0 +1,268 @@
+package percolator
+
+import (
+	"sort"
+	"time"
+)
+
+// Txn is one lock-based SI transaction. Not safe for concurrent use.
+type Txn struct {
+	client   *Client
+	startTS  uint64
+	writes   map[string][]byte // nil = delete
+	done     bool
+	commitTS uint64
+}
+
+// StartTS returns the transaction's snapshot timestamp.
+func (t *Txn) StartTS() uint64 { return t.startTS }
+
+// CommitTS returns the commit timestamp after a successful commit.
+func (t *Txn) CommitTS() uint64 { return t.commitTS }
+
+// Get reads key from the transaction's snapshot, resolving or waiting out
+// any lock it encounters.
+func (t *Txn) Get(key string) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrClosed
+	}
+	if v, mine := t.writes[key]; mine {
+		if v == nil {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	return t.client.get(key, t.startTS)
+}
+
+// get implements Percolator's read path: block on any lock with
+// lockTS < startTS, then read the newest write record below startTS and
+// fetch the data version it names.
+func (c *Client) get(key string, startTS uint64) ([]byte, bool, error) {
+	deadline := c.clock().Add(c.cfg.LockWait)
+	for {
+		locked, err := c.maybeResolveLock(key, startTS)
+		if err != nil {
+			return nil, false, err
+		}
+		if !locked {
+			break
+		}
+		if c.clock().After(deadline) {
+			return nil, false, ErrLockTimeout
+		}
+		time.Sleep(c.cfg.RetryInterval)
+	}
+	// Newest write record with commitTS < startTS.
+	for _, wv := range c.store.Get(prefixWrite+key, startTS, 0) {
+		dataTS, err := decodeWrite(wv.Value)
+		if err != nil {
+			return nil, false, err
+		}
+		dv, err := c.store.GetVersion(prefixData+key, dataTS)
+		if err != nil {
+			// A rolled-forward delete leaves no data version.
+			return nil, false, nil
+		}
+		if len(dv.Value) == 0 {
+			return nil, false, nil // tombstone
+		}
+		return append([]byte(nil), dv.Value...), true, nil
+	}
+	return nil, false, nil
+}
+
+// maybeResolveLock checks for a visible lock on key and attempts
+// resolution. Returns whether a live lock still blocks the read.
+func (c *Client) maybeResolveLock(key string, startTS uint64) (blocked bool, err error) {
+	locks := c.store.Get(prefixLock+key, startTS, 1)
+	if len(locks) == 0 {
+		return false, nil
+	}
+	lr, err := decodeLock(locks[0].Value)
+	if err != nil {
+		return false, err
+	}
+	// Is the owning transaction actually committed? Check the primary's
+	// write column: Percolator's commit point is the primary write
+	// record installation.
+	unlock := c.rows.lock(lr.Primary)
+	committedAt := c.primaryCommitTS(lr.Primary, lr.StartTS)
+	if committedAt != 0 {
+		unlock()
+		// Roll forward: the owner committed; install this key's
+		// write record and drop the stale lock.
+		unlock = c.rows.lock(key)
+		c.store.Put(prefixWrite+key, committedAt, encodeWrite(lr.StartTS))
+		c.store.DeleteVersion(prefixLock+key, locks[0].TS)
+		unlock()
+		return false, nil
+	}
+	// Owner not committed. If its lock is past the TTL, roll it back.
+	if c.clock().UnixNano() > lr.Deadline {
+		// Erase the primary lock first — that is the abort point —
+		// then this key's lock and data.
+		if pl := c.lockAt(lr.Primary, lr.StartTS); pl != 0 {
+			c.store.DeleteVersion(prefixLock+lr.Primary, pl)
+			c.store.DeleteVersion(prefixData+lr.Primary, lr.StartTS)
+		}
+		unlock()
+		unlock = c.rows.lock(key)
+		c.store.DeleteVersion(prefixLock+key, locks[0].TS)
+		c.store.DeleteVersion(prefixData+key, lr.StartTS)
+		unlock()
+		return false, nil
+	}
+	unlock()
+	return true, nil
+}
+
+// primaryCommitTS returns the commit timestamp of the transaction whose
+// primary is key and start timestamp is startTS, or 0 if uncommitted.
+// Caller holds the primary's row lock.
+func (c *Client) primaryCommitTS(key string, startTS uint64) uint64 {
+	for _, wv := range c.store.Get(prefixWrite+key, ^uint64(0), 0) {
+		dataTS, err := decodeWrite(wv.Value)
+		if err == nil && dataTS == startTS {
+			return wv.TS
+		}
+	}
+	return 0
+}
+
+// lockAt returns the timestamp of the lock version held by startTS on key,
+// or 0 if none.
+func (c *Client) lockAt(key string, startTS uint64) uint64 {
+	for _, lv := range c.store.Get(prefixLock+key, ^uint64(0), 0) {
+		lr, err := decodeLock(lv.Value)
+		if err == nil && lr.StartTS == startTS {
+			return lv.TS
+		}
+	}
+	return 0
+}
+
+// Put buffers a write; Percolator defers all mutations to commit time.
+func (t *Txn) Put(key string, value []byte) error {
+	if t.done {
+		return ErrClosed
+	}
+	t.writes[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete buffers a deletion.
+func (t *Txn) Delete(key string) error {
+	if t.done {
+		return ErrClosed
+	}
+	t.writes[key] = nil
+	return nil
+}
+
+// Commit runs two-phase commit: prewrite every written key (acquiring
+// locks, checking write-write conflicts), then commit the primary and
+// complete the secondaries.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrClosed
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil // read-only: nothing to lock, never aborts
+	}
+	keys := make([]string, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic primary and lock order
+	primary := keys[0]
+
+	// Phase 1: prewrite.
+	var locked []string
+	for _, k := range keys {
+		if err := t.prewrite(k, primary); err != nil {
+			t.rollback(locked)
+			return err
+		}
+		locked = append(locked, k)
+	}
+
+	// Commit point: get commit timestamp, install primary write record,
+	// release primary lock — atomically on the primary's row.
+	commitTS, err := t.client.tso.Next()
+	if err != nil {
+		t.rollback(locked)
+		return err
+	}
+	unlock := t.client.rows.lock(primary)
+	if t.client.lockAt(primary, t.startTS) == 0 {
+		// Our lock vanished: a reader rolled us back while we were
+		// fetching the commit timestamp (the slow-transaction fate
+		// the paper describes).
+		unlock()
+		t.rollback(locked[1:])
+		return ErrConflict
+	}
+	t.client.store.Put(prefixWrite+primary, commitTS, encodeWrite(t.startTS))
+	t.client.store.DeleteVersion(prefixLock+primary, t.startTS)
+	unlock()
+
+	// Phase 2: complete secondaries (safe to do lazily; readers roll
+	// forward via the primary if we crash here).
+	for _, k := range keys[1:] {
+		unlock := t.client.rows.lock(k)
+		t.client.store.Put(prefixWrite+k, commitTS, encodeWrite(t.startTS))
+		t.client.store.DeleteVersion(prefixLock+k, t.startTS)
+		unlock()
+	}
+	t.commitTS = commitTS
+	return nil
+}
+
+// prewrite implements phase one for a single key under its row lock.
+func (t *Txn) prewrite(key, primary string) error {
+	c := t.client
+	unlock := c.rows.lock(key)
+	defer unlock()
+	// Write-write conflict: any write record newer than our snapshot.
+	if ws := c.store.Get(prefixWrite+key, ^uint64(0), 1); len(ws) > 0 && ws[0].TS >= t.startTS {
+		return ErrConflict
+	}
+	// Lock collision: any lock at any timestamp. (Percolator may also
+	// wait; aborting is the simplest policy and the one Algorithm 1's
+	// lock-based description lists first.)
+	if ls := c.store.Get(prefixLock+key, ^uint64(0), 1); len(ls) > 0 {
+		return ErrConflict
+	}
+	val := t.writes[key]
+	if val == nil {
+		val = []byte{} // tombstone: empty data version
+	}
+	c.store.Put(prefixData+key, t.startTS, val)
+	c.store.Put(prefixLock+key, t.startTS, encodeLock(lockRecord{
+		Primary:  primary,
+		StartTS:  t.startTS,
+		Deadline: c.clock().Add(c.cfg.LockTTL).UnixNano(),
+	}))
+	return nil
+}
+
+// rollback removes this transaction's locks and data from the given keys.
+func (t *Txn) rollback(keys []string) {
+	for _, k := range keys {
+		unlock := t.client.rows.lock(k)
+		t.client.store.DeleteVersion(prefixLock+k, t.startTS)
+		t.client.store.DeleteVersion(prefixData+k, t.startTS)
+		unlock()
+	}
+}
+
+// Abort rolls back all buffered writes' prewrites (no-op before Commit).
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrClosed
+	}
+	t.done = true
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package sim is a small deterministic discrete-event simulator: a virtual
+// clock, a time-ordered event queue, and FIFO multi-server resources. The
+// cluster model (internal/cluster) uses it to reproduce the paper's
+// 34-machine experiments (Figures 6–10) on a laptop: latencies are charged
+// on the virtual clock while the *real* conflict-detection code decides
+// commits and aborts, so queueing shapes and abort behaviour are faithful
+// and every run is bit-reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// event is one scheduled callback. seq breaks ties so same-time events run
+// in schedule order (determinism).
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. Not safe for concurrent use: the
+// entire simulation runs on one goroutine, which is what makes it
+// deterministic.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// New creates a simulation with a seeded deterministic PRNG.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (milliseconds by convention).
+func (s *Sim) Now() float64 { return s.now }
+
+// Rand returns the simulation's PRNG.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d time units from now.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// RunUntil processes events until virtual time exceeds t or the queue
+// drains. Events at exactly t still run.
+func (s *Sim) RunUntil(t float64) {
+	for len(s.events) > 0 && s.events[0].time <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Resource is a FIFO queue in front of `servers` identical servers.
+// Acquire either starts fn immediately (a server is free) or enqueues it.
+// fn receives a release function it must call exactly once when its service
+// completes; release starts the next queued request.
+type Resource struct {
+	sim     *Sim
+	servers int
+	busy    int
+	queue   []func(release func())
+
+	// metrics
+	totalArrivals int64
+	maxQueue      int
+}
+
+// NewResource creates a resource with the given number of servers.
+func NewResource(s *Sim, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{sim: s, servers: servers}
+}
+
+// Acquire requests a server.
+func (r *Resource) Acquire(fn func(release func())) {
+	r.totalArrivals++
+	if r.busy < r.servers {
+		r.busy++
+		fn(r.releaseFunc())
+		return
+	}
+	r.queue = append(r.queue, fn)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+}
+
+// Use is the common pattern: hold a server for serviceTime, then call done.
+func (r *Resource) Use(serviceTime float64, done func()) {
+	r.Acquire(func(release func()) {
+		r.sim.After(serviceTime, func() {
+			release()
+			done()
+		})
+	})
+}
+
+// releaseFunc builds the single-shot release closure for one grant.
+func (r *Resource) releaseFunc() func() {
+	released := false
+	return func() {
+		if released {
+			panic("sim: double release of resource grant")
+		}
+		released = true
+		if len(r.queue) > 0 {
+			next := r.queue[0]
+			r.queue = r.queue[1:]
+			// busy count unchanged: the freed server goes straight
+			// to the next request.
+			next(r.releaseFunc())
+			return
+		}
+		r.busy--
+	}
+}
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy returns the number of busy servers.
+func (r *Resource) Busy() int { return r.busy }
+
+// MaxQueue returns the high-water mark of the wait queue.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Arrivals returns the total number of Acquire calls.
+func (r *Resource) Arrivals() int64 { return r.totalArrivals }

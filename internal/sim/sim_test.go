@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(5, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(3, func() { order = append(order, 2) })
+	s.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("now = %v, want 10", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterRelativeToNow(t *testing.T) {
+	s := New(1)
+	var at float64
+	s.At(4, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.RunUntil(100)
+	if at != 7 {
+		t.Fatalf("After fired at %v, want 7", at)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {
+		s.At(1, func() {
+			if s.Now() < 5 {
+				t.Fatal("time went backwards")
+			}
+		})
+	})
+	s.RunUntil(10)
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(11, func() { fired = true })
+	s.RunUntil(10)
+	if fired {
+		t.Fatal("event beyond the horizon ran")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.RunUntil(11)
+	if !fired {
+		t.Fatal("event at the boundary must run")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestResourceImmediateWhenFree(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 2)
+	ran := 0
+	r.Use(5, func() { ran++ })
+	r.Use(5, func() { ran++ })
+	s.RunUntil(5)
+	if ran != 2 {
+		t.Fatalf("parallel capacity unused: ran=%d", ran)
+	}
+}
+
+func TestResourceQueuesFIFO(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 1)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Use(10, func() { done = append(done, i) })
+	}
+	if r.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", r.QueueLen())
+	}
+	s.RunUntil(100)
+	if len(done) != 3 {
+		t.Fatalf("completed %d, want 3", len(done))
+	}
+	for i, v := range done {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", done)
+		}
+	}
+	// Total time for 3 sequential services of 10 = 30.
+	if s.Now() < 30 {
+		t.Fatalf("finished too early: now=%v", s.Now())
+	}
+	if r.MaxQueue() != 2 || r.Arrivals() != 3 {
+		t.Fatalf("metrics: maxQueue=%d arrivals=%d", r.MaxQueue(), r.Arrivals())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	// M/D/1-ish sanity: with service 1 and 2 servers, 4 tasks finish at
+	// time 2, not 4.
+	s := New(1)
+	r := NewResource(s, 2)
+	finish := make([]float64, 0, 4)
+	for i := 0; i < 4; i++ {
+		r.Use(1, func() { finish = append(finish, s.Now()) })
+	}
+	s.RunUntil(10)
+	if finish[3] != 2 {
+		t.Fatalf("last finish = %v, want 2", finish[3])
+	}
+}
+
+func TestResourceZeroServiceTime(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 1)
+	done := 0
+	for i := 0; i < 5; i++ {
+		r.Use(0, func() { done++ })
+	}
+	s.RunUntil(1)
+	if done != 5 {
+		t.Fatalf("zero-service tasks completed %d/5", done)
+	}
+	if r.Busy() != 0 {
+		t.Fatalf("resource still busy: %d", r.Busy())
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(-5, func() { ran = true })
+	s.RunUntil(0)
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Acquire(func(release func()) {
+		release()
+		release()
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		r := NewResource(s, 2)
+		var finishes []float64
+		for i := 0; i < 50; i++ {
+			s.After(s.Rand().Float64()*10, func() {
+				r.Use(s.Rand().Float64()*3, func() {
+					finishes = append(finishes, s.Now())
+				})
+			})
+		}
+		s.RunUntil(1000)
+		return finishes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBusyCountProperty(t *testing.T) {
+	// Busy never exceeds capacity, regardless of schedule.
+	prop := func(seed int64) bool {
+		s := New(seed)
+		r := NewResource(s, 3)
+		ok := true
+		for i := 0; i < 100; i++ {
+			s.After(s.Rand().Float64()*20, func() {
+				r.Use(s.Rand().Float64()*5, func() {})
+				if r.Busy() > 3 {
+					ok = false
+				}
+			})
+		}
+		s.RunUntil(1e6)
+		return ok && r.Busy() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package ssi
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/tso"
+)
+
+func newCert(t *testing.T) *Certifier {
+	t.Helper()
+	return New(tso.New(0, nil), 0)
+}
+
+func rows(keys ...string) []oracle.RowID {
+	out := make([]oracle.RowID, len(keys))
+	for i, k := range keys {
+		out[i] = oracle.HashRow(k)
+	}
+	return out
+}
+
+func begin(t *testing.T, c *Certifier) uint64 {
+	t.Helper()
+	ts, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func commit(t *testing.T, c *Certifier, req oracle.CommitRequest) oracle.CommitResult {
+	t.Helper()
+	res, err := c.Commit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWWConflictStillDetected(t *testing.T) {
+	c := newCert(t)
+	t1 := begin(t, c)
+	t2 := begin(t, c)
+	commit(t, c, oracle.CommitRequest{StartTS: t1, WriteSet: rows("x")})
+	if res := commit(t, c, oracle.CommitRequest{StartTS: t2, WriteSet: rows("x")}); res.Committed {
+		t.Fatal("SSI must keep SI's write-write detection")
+	}
+	s := c.Stats()
+	if s.WWAborts != 1 {
+		t.Fatalf("WWAborts = %d, want 1", s.WWAborts)
+	}
+}
+
+func TestWriteSkewAborted(t *testing.T) {
+	// H2: t1 reads {x,y} writes x; t2 reads {x,y} writes y.
+	// When t2 commits: t2 -rw-> t1 (t1 wrote x which t2 read), and
+	// t1 -rw-> t2? t1 read y which t2 writes — that makes t2.in and
+	// t2.out both set: pivot, abort.
+	c := newCert(t)
+	t1 := begin(t, c)
+	t2 := begin(t, c)
+	r1 := commit(t, c, oracle.CommitRequest{StartTS: t1, WriteSet: rows("x"), ReadSet: rows("x", "y")})
+	if !r1.Committed {
+		t.Fatal("t1 should commit")
+	}
+	r2 := commit(t, c, oracle.CommitRequest{StartTS: t2, WriteSet: rows("y"), ReadSet: rows("x", "y")})
+	if r2.Committed {
+		t.Fatal("SSI must abort the write-skew pivot")
+	}
+	if s := c.Stats(); s.PivotAborts != 1 {
+		t.Fatalf("PivotAborts = %d, want 1", s.PivotAborts)
+	}
+}
+
+func TestFalsePositiveStructureAborts(t *testing.T) {
+	// A dangerous structure that is actually serializable: H6-like.
+	// t1 reads x writes y; t2 reads z writes x; t2 commits first.
+	// At t1's commit: t1 read x which t2 wrote and t2 committed during
+	// t1's lifetime -> t1.out. t2 read z — t1 does not write z, so no
+	// in-flag. t1 commits. Now extend with t3 to build the classic
+	// false positive: t3 reads y (written by t1) and writes z.
+	c := newCert(t)
+	t1 := begin(t, c)
+	t2 := begin(t, c)
+	t3 := begin(t, c)
+	if res := commit(t, c, oracle.CommitRequest{StartTS: t2, WriteSet: rows("x"), ReadSet: rows("z")}); !res.Committed {
+		t.Fatal("t2 should commit")
+	}
+	// t1: out-conflict with t2 (read x), gets flagged but commits.
+	if res := commit(t, c, oracle.CommitRequest{StartTS: t1, WriteSet: rows("y"), ReadSet: rows("x")}); !res.Committed {
+		t.Fatal("t1 with only an out-conflict should commit")
+	}
+	// t3 writes z (read by committed t2 -> t2.out would now also be
+	// set; t2 already has in? t2.in was set by t1's out edge). Making
+	// committed t2 a pivot forces t3 to abort even though the execution
+	// may be serializable — the documented false positive.
+	res := commit(t, c, oracle.CommitRequest{StartTS: t3, WriteSet: rows("z"), ReadSet: rows("y")})
+	if res.Committed {
+		t.Fatal("expected conservative pivot abort for t3")
+	}
+}
+
+func TestReadOnlyAlwaysCommits(t *testing.T) {
+	c := newCert(t)
+	tr := begin(t, c)
+	for i := 0; i < 3; i++ {
+		tw := begin(t, c)
+		commit(t, c, oracle.CommitRequest{StartTS: tw, WriteSet: rows("x")})
+	}
+	if res := commit(t, c, oracle.CommitRequest{StartTS: tr}); !res.Committed {
+		t.Fatal("read-only aborted")
+	}
+}
+
+func TestNonConcurrentNoFlags(t *testing.T) {
+	c := newCert(t)
+	t1 := begin(t, c)
+	commit(t, c, oracle.CommitRequest{StartTS: t1, WriteSet: rows("x"), ReadSet: rows("y")})
+	// t2 starts after t1 committed: no rw edges possible.
+	t2 := begin(t, c)
+	res := commit(t, c, oracle.CommitRequest{StartTS: t2, WriteSet: rows("y"), ReadSet: rows("x")})
+	if !res.Committed {
+		t.Fatal("non-concurrent transactions must not conflict")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	c := New(tso.New(0, nil), 2)
+	for i := 0; i < 10; i++ {
+		ts := begin(t, c)
+		commit(t, c, oracle.CommitRequest{StartTS: ts, WriteSet: rows("k" + string(rune('a'+i)))})
+	}
+	c.mu.Lock()
+	n := len(c.window)
+	c.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("window grew to %d, max 2", n)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := map[oracle.RowID]struct{}{1: {}, 2: {}}
+	b := map[oracle.RowID]struct{}{2: {}, 3: {}}
+	e := map[oracle.RowID]struct{}{9: {}}
+	if !intersects(a, b) || intersects(a, e) || intersects(nil, a) {
+		t.Fatal("intersects misbehaves")
+	}
+}

@@ -1,0 +1,111 @@
+package txn
+
+import (
+	"errors"
+
+	"repro/internal/oracle"
+)
+
+// The §5.2 analytics extension: transactions with very large read sets
+// (scans) may submit "a compact, over-approximated representation of the
+// read set, e.g., table name and row ranges" instead of enumerating every
+// row. We realize this with buckets: a Bucketer maps each key to a bucket
+// label and a key range to the covering set of labels. Write transactions
+// publish the buckets of their written rows alongside the row identifiers;
+// an analytics transaction's read set is then just its scanned ranges'
+// buckets. Bucket identifiers live in a namespace disjoint from row hashes
+// (the tag below), so the status oracle needs no modification — bucket
+// conflicts are detected by exactly the same lastCommit machinery.
+var errBucketerRequired = errors.New("txn: BucketScan requires Config.Bucketer")
+
+// Bucketer maps keys and key ranges to bucket labels.
+type Bucketer interface {
+	// Bucket returns the label of the bucket containing key.
+	Bucket(key string) string
+	// RangeBuckets returns labels covering every key in
+	// [startKey, endKey); endKey == "" means +inf. Over-approximation is
+	// allowed (extra labels cost concurrency, never correctness).
+	RangeBuckets(startKey, endKey string) []string
+}
+
+// bucketTag separates bucket identifiers from row-key hashes in the status
+// oracle's identifier space.
+const bucketTag = "\x00bucket\x00"
+
+// WholeTableBucket is the reserved label covering every key. Write
+// transactions always publish it (cheaply: one extra identifier), so a scan
+// whose range cannot be covered by a bounded number of prefix buckets can
+// soundly degrade to this single label instead of silently losing conflict
+// detection.
+const WholeTableBucket = "\x00whole-table"
+
+func bucketRowID(label string) oracle.RowID {
+	return oracle.HashRow(bucketTag + label)
+}
+
+// PrefixBucketer buckets keys by their first PrefixLen bytes — suitable for
+// fixed-width keys such as the workload package's "user%012d" keys.
+type PrefixBucketer struct {
+	// PrefixLen is the number of leading bytes that define a bucket.
+	PrefixLen int
+}
+
+// Bucket returns the key's prefix of PrefixLen bytes.
+func (p PrefixBucketer) Bucket(key string) string {
+	if len(key) <= p.PrefixLen {
+		return key
+	}
+	return key[:p.PrefixLen]
+}
+
+// RangeBuckets enumerates the prefixes covering [startKey, endKey). Because
+// arbitrary string ranges can cover unboundedly many prefixes, the range is
+// conservatively widened: the result covers every prefix between the two
+// endpoint prefixes by incrementing the prefix string byte-wise.
+func (p PrefixBucketer) RangeBuckets(startKey, endKey string) []string {
+	if endKey == "" {
+		// Unbounded scans cover the whole table.
+		return []string{WholeTableBucket}
+	}
+	start := p.Bucket(startKey)
+	end := p.Bucket(endKey)
+	var labels []string
+	cur := start
+	for i := 0; ; i++ {
+		if i > maxRangeBuckets {
+			// Too wide to enumerate: degrade soundly.
+			return []string{WholeTableBucket}
+		}
+		labels = append(labels, cur)
+		if cur >= end {
+			break
+		}
+		next := nextPrefix(cur)
+		if next == cur {
+			break // all-0xff prefix: nothing further
+		}
+		cur = next
+	}
+	return labels
+}
+
+// maxRangeBuckets caps enumeration before degrading to a whole-table
+// bucket.
+const maxRangeBuckets = 1024
+
+// nextPrefix returns the lexicographically next string of the same length
+// (byte-wise increment with carry). An all-0xff prefix wraps to itself,
+// which terminates enumeration at the caller's bound check.
+func nextPrefix(s string) string {
+	b := []byte(s)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			for j := i + 1; j < len(b); j++ {
+				b[j] = 0
+			}
+			return string(b)
+		}
+	}
+	return s
+}

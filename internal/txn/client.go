@@ -1,0 +1,194 @@
+// Package txn is the client-side transaction library (§2.2, §5): it runs
+// transactions against the multi-version store and the status oracle.
+//
+// A transaction receives a start timestamp, reads from the snapshot that
+// timestamp defines, buffers nothing — tentative writes go straight to the
+// store versioned by the start timestamp, exactly as in the paper's
+// lock-free scheme — and finally submits its write set (and, under WSI, its
+// read set) to the status oracle, which decides commit or abort.
+//
+// To decide whether a version it encounters is visible, a reader must learn
+// the commit status of the writing transaction. The paper lists three
+// options (§2.2): query the status oracle, write commit timestamps back
+// into the database ("shadow" data), or replicate commit timestamps on the
+// clients. All three are implemented here (CommitInfoMode); the paper's
+// experiments used client replication.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/oracle"
+)
+
+// Arbiter is the status-oracle interface the client depends on; it is
+// satisfied by *oracle.StatusOracle directly and by the network client in
+// internal/netsrv.
+type Arbiter interface {
+	Begin() (uint64, error)
+	Commit(oracle.CommitRequest) (oracle.CommitResult, error)
+	Abort(startTS uint64) error
+	Query(startTS uint64) oracle.TxnStatus
+}
+
+// Subscribing is implemented by arbiters that can stream commit
+// notifications (used by ModeReplica).
+type Subscribing interface {
+	Subscribe(buffer int) *oracle.Subscription
+}
+
+// Forgetting is implemented by arbiters that support garbage-collecting
+// aborted-transaction records after client cleanup.
+type Forgetting interface {
+	Forget(startTS uint64)
+}
+
+// CommitInfoMode selects how readers resolve commit timestamps (§2.2).
+type CommitInfoMode uint8
+
+// Commit-info modes.
+const (
+	// ModeQuery asks the status oracle about every candidate version.
+	ModeQuery CommitInfoMode = iota
+	// ModeReplica maintains a client-local replica of the commit table
+	// fed by the oracle's notification stream (the paper's choice).
+	ModeReplica
+	// ModeWriteBack resolves from commit timestamps written back into
+	// the store next to the data, falling back to a query for versions
+	// whose write-back has not landed yet.
+	ModeWriteBack
+)
+
+func (m CommitInfoMode) String() string {
+	switch m {
+	case ModeQuery:
+		return "query"
+	case ModeReplica:
+		return "replica"
+	case ModeWriteBack:
+		return "write-back"
+	default:
+		return fmt.Sprintf("CommitInfoMode(%d)", uint8(m))
+	}
+}
+
+// Errors returned by the transaction layer.
+var (
+	// ErrConflict reports that the status oracle aborted the commit.
+	ErrConflict = errors.New("txn: conflict abort")
+	// ErrClosed reports use of a finished transaction.
+	ErrClosed = errors.New("txn: transaction already committed or aborted")
+	// ErrReadOnly reports a write attempted on a BeginAt transaction.
+	ErrReadOnly = errors.New("txn: time-travel transactions are read-only")
+)
+
+// errReadOnly aliases the exported error for internal call sites.
+var errReadOnly = ErrReadOnly
+
+// Config parameterizes a client.
+type Config struct {
+	// Mode selects the commit-info resolution strategy.
+	Mode CommitInfoMode
+	// ReplicaBuffer sizes the notification subscription (ModeReplica).
+	ReplicaBuffer int
+	// ReplicaWindow bounds the client-side commit-table replica; zero
+	// keeps everything.
+	ReplicaWindow int
+	// Bucketer, when non-nil, enables the §5.2 analytics extension:
+	// writers additionally publish the bucket of every written row, and
+	// scans may submit compact bucket-level read sets instead of
+	// enumerating rows.
+	Bucketer Bucketer
+	// DeferWrites buffers writes client-side and flushes them to the
+	// data servers only at commit time, Percolator-style (§2.1), instead
+	// of the default eager write-through. Visibility is identical either
+	// way — tentative versions are invisible until the oracle commits —
+	// but deferral saves data-server traffic for transactions that abort
+	// before committing, at the cost of a commit-time write burst.
+	DeferWrites bool
+}
+
+// Client runs transactions. Create one per process; it is safe for
+// concurrent use and transactions from the same client may run in parallel.
+type Client struct {
+	store   *kvstore.Store
+	so      Arbiter
+	cfg     Config
+	replica *replicaCache // nil unless ModeReplica
+	active  activeSet     // live transactions, for GC watermarking
+}
+
+// NewClient creates a transaction client.
+func NewClient(store *kvstore.Store, so Arbiter, cfg Config) (*Client, error) {
+	c := &Client{store: store, so: so, cfg: cfg}
+	if cfg.Mode == ModeReplica {
+		sub, ok := so.(Subscribing)
+		if !ok {
+			return nil, errors.New("txn: ModeReplica requires a subscribing arbiter")
+		}
+		c.replica = newReplicaCache(sub.Subscribe(cfg.ReplicaBuffer), cfg.ReplicaWindow)
+	}
+	return c, nil
+}
+
+// Close releases the client's subscription, if any.
+func (c *Client) Close() {
+	if c.replica != nil {
+		c.replica.close()
+	}
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() (*Txn, error) {
+	ts, err := c.so.Begin()
+	if err != nil {
+		return nil, err
+	}
+	c.active.add(ts)
+	return &Txn{
+		client:  c,
+		startTS: ts,
+		writes:  make(map[string][]byte),
+		reads:   make(map[string]struct{}),
+	}, nil
+}
+
+// Store returns the underlying store (examples use it for direct loads).
+func (c *Client) Store() *kvstore.Store { return c.store }
+
+// resolve determines the commit status of the transaction that wrote
+// version writeTS of key.
+func (c *Client) resolve(key string, writeTS uint64) oracle.TxnStatus {
+	switch c.cfg.Mode {
+	case ModeReplica:
+		if st, ok := c.replica.lookup(writeTS); ok {
+			return st
+		}
+		return c.so.Query(writeTS)
+	case ModeWriteBack:
+		if tc, ok := c.store.GetShadow(key, writeTS); ok {
+			return oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: tc}
+		}
+		st := c.so.Query(writeTS)
+		if st.Status == oracle.StatusUnknown {
+			// Evicted from the commit table with no shadow cell:
+			// the writer never completed its write-back, so its
+			// client was either never acknowledged or crashed
+			// mid-write-back; treating the version as invisible
+			// is safe (§2.2, Appendix A).
+			return oracle.TxnStatus{Status: oracle.StatusAborted}
+		}
+		return st
+	default:
+		return c.so.Query(writeTS)
+	}
+}
+
+// forget drops an aborted transaction's oracle record after cleanup.
+func (c *Client) forget(startTS uint64) {
+	if f, ok := c.so.(Forgetting); ok {
+		f.Forget(startTS)
+	}
+}

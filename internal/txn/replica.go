@@ -1,0 +1,85 @@
+package txn
+
+import (
+	"sync"
+
+	"repro/internal/oracle"
+)
+
+// replicaCache is the client-local replica of the commit table (§2.2:
+// commit timestamps "replicated on the clients", the option the paper's
+// experiments use). A goroutine drains the oracle's notification stream
+// into a bounded map; lookups that miss — either because the event predates
+// the subscription, was evicted, or was dropped under lag — fall back to a
+// direct oracle query, so the cache only ever saves round trips, never
+// changes answers.
+type replicaCache struct {
+	sub *oracle.Subscription
+
+	mu      sync.RWMutex
+	commits map[uint64]uint64
+	aborted map[uint64]struct{}
+	order   []uint64
+	window  int
+
+	wg sync.WaitGroup
+}
+
+func newReplicaCache(sub *oracle.Subscription, window int) *replicaCache {
+	rc := &replicaCache{
+		sub:     sub,
+		commits: make(map[uint64]uint64),
+		aborted: make(map[uint64]struct{}),
+		window:  window,
+	}
+	rc.wg.Add(1)
+	go rc.drain()
+	return rc
+}
+
+func (rc *replicaCache) drain() {
+	defer rc.wg.Done()
+	for e := range rc.sub.C {
+		rc.mu.Lock()
+		if e.Committed() {
+			rc.commits[e.StartTS] = e.CommitTS
+		} else {
+			rc.aborted[e.StartTS] = struct{}{}
+		}
+		if rc.window > 0 {
+			rc.order = append(rc.order, e.StartTS)
+			for len(rc.order) > rc.window {
+				old := rc.order[0]
+				rc.order = rc.order[1:]
+				delete(rc.commits, old)
+				delete(rc.aborted, old)
+			}
+		}
+		rc.mu.Unlock()
+	}
+}
+
+// lookup returns a definitive status if the replica has one.
+func (rc *replicaCache) lookup(startTS uint64) (oracle.TxnStatus, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	if tc, ok := rc.commits[startTS]; ok {
+		return oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: tc}, true
+	}
+	if _, ok := rc.aborted[startTS]; ok {
+		return oracle.TxnStatus{Status: oracle.StatusAborted}, true
+	}
+	return oracle.TxnStatus{}, false
+}
+
+func (rc *replicaCache) close() {
+	rc.sub.Close()
+	rc.wg.Wait()
+}
+
+// Size returns the number of cached entries (test hook).
+func (rc *replicaCache) size() int {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return len(rc.commits) + len(rc.aborted)
+}

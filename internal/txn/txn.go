@@ -1,0 +1,350 @@
+package txn
+
+import (
+	"sort"
+
+	"repro/internal/oracle"
+)
+
+// Value encoding inside the store: a one-byte tag distinguishes live values
+// from tombstones so that MVCC deletes are ordinary versioned writes.
+const (
+	tagTombstone = 0x00
+	tagValue     = 0x01
+)
+
+func encodeValue(v []byte) []byte {
+	out := make([]byte, 1+len(v))
+	out[0] = tagValue
+	copy(out[1:], v)
+	return out
+}
+
+func encodeTombstone() []byte { return []byte{tagTombstone} }
+
+func decodeValue(raw []byte) (value []byte, live bool) {
+	if len(raw) == 0 || raw[0] == tagTombstone {
+		return nil, false
+	}
+	return raw[1:], true
+}
+
+// Txn is one transaction. A Txn must be used by a single goroutine.
+type Txn struct {
+	client  *Client
+	startTS uint64
+
+	// writes buffers this transaction's own writes for read-your-writes;
+	// nil value = tombstone. The store already holds them as tentative
+	// versions at startTS.
+	writes map[string][]byte
+	// reads is the read set: every row the transaction actually read,
+	// whether addressed by key or reached by a scan (§5).
+	reads map[string]struct{}
+	// readBuckets holds §5.2 compact read-set entries (bucket labels)
+	// accumulated by BucketScan.
+	readBuckets map[string]struct{}
+
+	done      bool
+	committed bool
+	commitTS  uint64
+	// readOnly marks a BeginAt time-travel transaction: writes are
+	// rejected and commit is local (no oracle interaction).
+	readOnly bool
+}
+
+// StartTS returns the transaction's start timestamp (its snapshot).
+func (t *Txn) StartTS() uint64 { return t.startTS }
+
+// CommitTS returns the commit timestamp after a successful Commit.
+func (t *Txn) CommitTS() uint64 { return t.commitTS }
+
+// Committed reports whether Commit succeeded.
+func (t *Txn) Committed() bool { return t.committed }
+
+// Get returns the value of key in this transaction's snapshot. ok is false
+// when the row does not exist in the snapshot (never written, deleted, or
+// written only by invisible transactions).
+func (t *Txn) Get(key string) (value []byte, ok bool, err error) {
+	if t.done {
+		return nil, false, ErrClosed
+	}
+	t.reads[key] = struct{}{}
+	if v, mine := t.writes[key]; mine {
+		if v == nil {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	raw, found := t.snapshotRead(key)
+	if !found {
+		return nil, false, nil
+	}
+	val, live := decodeValue(raw)
+	if !live {
+		return nil, false, nil
+	}
+	return append([]byte(nil), val...), true, nil
+}
+
+// snapshotRead returns the raw store value of key in this transaction's
+// snapshot: among the committed versions with commit timestamp below the
+// start timestamp, the one with the *largest commit timestamp*. Selecting
+// by commit rather than write (start) timestamp matters under WSI, which —
+// unlike SI — allows two overlapping transactions to write the same row
+// (History 4): the version written by the earlier-starting but
+// later-committing transaction is the current one (§4.1: a transaction
+// "writes into a separate snapshot of the database specified by the
+// transaction commit timestamp"). Pending, aborted and unknown writers are
+// skipped (§2.2).
+func (t *Txn) snapshotRead(key string) (raw []byte, found bool) {
+	versions := t.client.store.Get(key, t.startTS, 0)
+	var bestTC uint64
+	for i := range versions {
+		st := t.client.resolve(key, versions[i].TS)
+		if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
+			bestTC = st.CommitTS
+			raw = versions[i].Value
+			found = true
+		}
+	}
+	return raw, found
+}
+
+// Put writes key=value, visible to this transaction immediately and to
+// others only if the transaction commits.
+func (t *Txn) Put(key string, value []byte) error {
+	if t.done {
+		return ErrClosed
+	}
+	if t.readOnly {
+		return errReadOnly
+	}
+	v := append([]byte(nil), value...)
+	t.writes[key] = v
+	if !t.client.cfg.DeferWrites {
+		t.client.store.Put(key, t.startTS, encodeValue(value))
+	}
+	return nil
+}
+
+// Delete removes key (a versioned tombstone write).
+func (t *Txn) Delete(key string) error {
+	if t.done {
+		return ErrClosed
+	}
+	if t.readOnly {
+		return errReadOnly
+	}
+	t.writes[key] = nil
+	if !t.client.cfg.DeferWrites {
+		t.client.store.Put(key, t.startTS, encodeTombstone())
+	}
+	return nil
+}
+
+// KV is one row of a scan result.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns the live rows in [startKey, endKey) of the snapshot, in key
+// order, at most limit rows (limit <= 0 means all). Every row the scan
+// inspects joins the read set: the paper defines the submitted read set as
+// "the rows that are actually read by the transaction, whether these rows
+// were originally specified by their primary keys or by a search
+// condition" (§5).
+func (t *Txn) Scan(startKey, endKey string, limit int) ([]KV, error) {
+	return t.scan(startKey, endKey, limit, false)
+}
+
+// BucketScan is the §5.2 analytics extension: like Scan, but instead of
+// adding every inspected row to the read set it adds the compact,
+// over-approximated bucket representation of the range. It requires the
+// client to be configured with a Bucketer (writers then publish write
+// buckets, making bucket-level conflict detection sound).
+func (t *Txn) BucketScan(startKey, endKey string, limit int) ([]KV, error) {
+	return t.scan(startKey, endKey, limit, true)
+}
+
+func (t *Txn) scan(startKey, endKey string, limit int, buckets bool) ([]KV, error) {
+	if t.done {
+		return nil, ErrClosed
+	}
+	if buckets {
+		if t.client.cfg.Bucketer == nil {
+			return nil, errBucketerRequired
+		}
+		if t.readBuckets == nil {
+			t.readBuckets = make(map[string]struct{})
+		}
+		for _, b := range t.client.cfg.Bucketer.RangeBuckets(startKey, endKey) {
+			t.readBuckets[b] = struct{}{}
+		}
+	}
+	rows := t.client.store.Scan(startKey, endKey, t.startTS, 0, 0)
+	merged := make(map[string][]byte, len(rows))
+	for _, r := range rows {
+		if !buckets {
+			t.reads[r.Key] = struct{}{}
+		}
+		if _, mine := t.writes[r.Key]; mine {
+			continue // own write overrides
+		}
+		// Same selection rule as snapshotRead: the committed version
+		// with the largest commit timestamp below the snapshot.
+		var bestTC uint64
+		for _, v := range r.Versions {
+			st := t.client.resolve(r.Key, v.TS)
+			if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
+				bestTC = st.CommitTS
+				if val, live := decodeValue(v.Value); live {
+					merged[r.Key] = val
+				} else {
+					delete(merged, r.Key)
+				}
+			}
+		}
+	}
+	for k, v := range t.writes {
+		if k < startKey || (endKey != "" && k >= endKey) {
+			continue
+		}
+		if v != nil {
+			merged[k] = v
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, KV{Key: k, Value: append([]byte(nil), merged[k]...)})
+	}
+	return out, nil
+}
+
+// Commit submits the transaction to the status oracle. It returns nil on
+// commit and ErrConflict when the oracle aborts the transaction (in which
+// case the tentative writes have been cleaned up).
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrClosed
+	}
+	t.done = true
+	if t.readOnly {
+		// Time-travel transactions never touched the oracle.
+		t.committed = true
+		t.commitTS = t.startTS
+		return nil
+	}
+	defer t.client.active.remove(t.startTS)
+
+	// Read-only fast path (§5.1): submit empty sets; the oracle commits
+	// without any conflict check and read-only transactions never abort.
+	if len(t.writes) == 0 {
+		res, err := t.client.so.Commit(oracle.CommitRequest{StartTS: t.startTS})
+		if err != nil {
+			return err
+		}
+		t.committed = true
+		t.commitTS = res.CommitTS
+		return nil
+	}
+
+	// Deferred writes reach the data servers before the commit request:
+	// the oracle's decision must cover versions that are actually
+	// present, or a crash between ack and flush would lose them.
+	if t.client.cfg.DeferWrites {
+		for k, v := range t.writes {
+			if v == nil {
+				t.client.store.Put(k, t.startTS, encodeTombstone())
+			} else {
+				t.client.store.Put(k, t.startTS, encodeValue(v))
+			}
+		}
+	}
+
+	req := oracle.CommitRequest{
+		StartTS:  t.startTS,
+		WriteSet: make([]oracle.RowID, 0, len(t.writes)),
+		ReadSet:  make([]oracle.RowID, 0, len(t.reads)+len(t.readBuckets)),
+	}
+	bucketer := t.client.cfg.Bucketer
+	writeBuckets := make(map[string]struct{})
+	for k := range t.writes {
+		req.WriteSet = append(req.WriteSet, oracle.HashRow(k))
+		if bucketer != nil {
+			writeBuckets[bucketer.Bucket(k)] = struct{}{}
+		}
+	}
+	if bucketer != nil {
+		// Always publish the whole-table bucket so degraded scans
+		// (WholeTableBucket read sets) stay sound.
+		writeBuckets[WholeTableBucket] = struct{}{}
+	}
+	// Publish write buckets so bucket-level read sets detect conflicts.
+	for b := range writeBuckets {
+		req.WriteSet = append(req.WriteSet, bucketRowID(b))
+	}
+	for k := range t.reads {
+		req.ReadSet = append(req.ReadSet, oracle.HashRow(k))
+	}
+	for b := range t.readBuckets {
+		req.ReadSet = append(req.ReadSet, bucketRowID(b))
+	}
+
+	res, err := t.client.so.Commit(req)
+	if err != nil {
+		return err
+	}
+	if !res.Committed {
+		t.cleanup()
+		t.client.forget(t.startTS)
+		return ErrConflict
+	}
+	t.committed = true
+	t.commitTS = res.CommitTS
+	if t.client.cfg.Mode == ModeWriteBack {
+		for k := range t.writes {
+			t.client.store.PutShadow(k, t.startTS, res.CommitTS)
+		}
+	}
+	return nil
+}
+
+// Abort rolls the transaction back: tentative versions are deleted and the
+// abort is recorded at the status oracle so concurrent readers skip any
+// version they may already have fetched.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrClosed
+	}
+	t.done = true
+	if t.readOnly {
+		return nil
+	}
+	t.client.active.remove(t.startTS)
+	if len(t.writes) == 0 {
+		return nil
+	}
+	if err := t.client.so.Abort(t.startTS); err != nil {
+		return err
+	}
+	t.cleanup()
+	t.client.forget(t.startTS)
+	return nil
+}
+
+// cleanup removes the transaction's tentative versions from the store.
+func (t *Txn) cleanup() {
+	for k := range t.writes {
+		t.client.store.DeleteVersion(k, t.startTS)
+	}
+}

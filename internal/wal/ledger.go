@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// MemLedger is an in-memory Ledger standing in for a remote bookie. A
+// configurable append latency models the network+fsync round trip, and a
+// fail hook supports fault-injection tests.
+type MemLedger struct {
+	mu      sync.Mutex
+	batches [][]byte
+
+	// Latency is slept on every AppendBatch, modelling the remote write.
+	Latency time.Duration
+	// FailAppend, when non-nil, is consulted before each append; a
+	// non-nil return fails the append (fault injection).
+	FailAppend func() error
+}
+
+// NewMemLedger returns an empty in-memory ledger.
+func NewMemLedger() *MemLedger { return &MemLedger{} }
+
+// AppendBatch stores one batch.
+func (m *MemLedger) AppendBatch(batch []byte) (int, error) {
+	if m.FailAppend != nil {
+		if err := m.FailAppend(); err != nil {
+			return 0, err
+		}
+	}
+	if m.Latency > 0 {
+		time.Sleep(m.Latency)
+	}
+	cp := make([]byte, len(batch))
+	copy(cp, batch)
+	m.mu.Lock()
+	m.batches = append(m.batches, cp)
+	n := len(m.batches) - 1
+	m.mu.Unlock()
+	return n, nil
+}
+
+// NumBatches returns the number of stored batches.
+func (m *MemLedger) NumBatches() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.batches), nil
+}
+
+// ReadBatch returns the i-th batch.
+func (m *MemLedger) ReadBatch(i int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.batches) {
+		return nil, fmt.Errorf("wal: batch %d out of range [0,%d)", i, len(m.batches))
+	}
+	return m.batches[i], nil
+}
+
+// Corrupt flips a byte of the i-th batch (test helper for recovery paths).
+func (m *MemLedger) Corrupt(i int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.batches) {
+		return errors.New("wal: no such batch")
+	}
+	if len(m.batches[i]) == 0 {
+		return errors.New("wal: empty batch")
+	}
+	b := make([]byte, len(m.batches[i]))
+	copy(b, m.batches[i])
+	b[len(b)/2] ^= 0xff
+	m.batches[i] = b
+	return nil
+}
+
+// FileLedger is a Ledger backed by a single append-only file, for durable
+// single-machine deployments of cmd/oracle-server. Batches are stored as
+// [8-byte length][payload] records.
+type FileLedger struct {
+	mu      sync.Mutex
+	f       *os.File
+	offsets []int64 // start offset of each batch
+	sizes   []int64
+	end     int64
+	sync    bool
+}
+
+// OpenFileLedger opens (creating if needed) a file-backed ledger. When
+// syncEveryBatch is set, each batch is fsynced, giving real durability at
+// real disk latency.
+func OpenFileLedger(path string, syncEveryBatch bool) (*FileLedger, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &FileLedger{f: f, sync: syncEveryBatch}
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan indexes the existing batches, truncating a torn tail write.
+func (l *FileLedger) scan() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	var off int64
+	var hdr [8]byte
+	for off+8 <= size {
+		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+			return err
+		}
+		n := int64(binary.BigEndian.Uint64(hdr[:]))
+		if off+8+n > size {
+			break // torn write at the tail; ignore
+		}
+		l.offsets = append(l.offsets, off+8)
+		l.sizes = append(l.sizes, n)
+		off += 8 + n
+	}
+	l.end = off
+	return l.f.Truncate(off)
+}
+
+// AppendBatch appends one batch record.
+func (l *FileLedger) AppendBatch(batch []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(batch)))
+	if _, err := l.f.WriteAt(hdr[:], l.end); err != nil {
+		return 0, err
+	}
+	if _, err := l.f.WriteAt(batch, l.end+8); err != nil {
+		return 0, err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	l.offsets = append(l.offsets, l.end+8)
+	l.sizes = append(l.sizes, int64(len(batch)))
+	l.end += 8 + int64(len(batch))
+	return len(l.offsets) - 1, nil
+}
+
+// NumBatches returns the number of stored batches.
+func (l *FileLedger) NumBatches() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.offsets), nil
+}
+
+// ReadBatch returns the i-th batch.
+func (l *FileLedger) ReadBatch(i int) ([]byte, error) {
+	l.mu.Lock()
+	if i < 0 || i >= len(l.offsets) {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: batch %d out of range [0,%d)", i, len(l.offsets))
+	}
+	off, n := l.offsets[i], l.sizes[i]
+	l.mu.Unlock()
+	buf := make([]byte, n)
+	if _, err := l.f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close closes the underlying file.
+func (l *FileLedger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// DiscardLedger accepts and forgets everything; used by benchmarks that
+// isolate CPU cost from durability cost.
+type DiscardLedger struct{}
+
+// AppendBatch discards the batch.
+func (DiscardLedger) AppendBatch(batch []byte) (int, error) { return 0, nil }
+
+// NumBatches reports an empty ledger.
+func (DiscardLedger) NumBatches() (int, error) { return 0, nil }
+
+// ReadBatch always fails: nothing is retained.
+func (DiscardLedger) ReadBatch(i int) ([]byte, error) {
+	return nil, errors.New("wal: discard ledger retains no batches")
+}

@@ -1,0 +1,286 @@
+// Package wal implements the replicated, batched write-ahead log that the
+// status oracle persists its commit decisions into. It stands in for Apache
+// BookKeeper (paper, Appendix A): every state change of the status oracle is
+// appended to a log replicated across multiple remote storage devices, and
+// appends are group-committed — a batch is flushed when it reaches
+// BatchBytes (paper: 1 KB) or when BatchDelay elapses since the last
+// trigger (paper: 5 ms), whichever comes first.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// Ledger is one replica of the log (a "bookie" in BookKeeper terms).
+// AppendBatch must be safe for concurrent use with ReadBatch.
+type Ledger interface {
+	// AppendBatch durably stores one batch and returns its index.
+	AppendBatch(batch []byte) (int, error)
+	// NumBatches returns the number of stored batches.
+	NumBatches() (int, error)
+	// ReadBatch returns the i-th stored batch.
+	ReadBatch(i int) ([]byte, error)
+}
+
+// Errors returned by the writer.
+var (
+	ErrClosed       = errors.New("wal: writer closed")
+	ErrQuorumFailed = errors.New("wal: quorum of ledgers failed")
+	ErrCorrupt      = errors.New("wal: corrupt entry")
+)
+
+// Config parameterizes the batching and replication policy.
+type Config struct {
+	// BatchBytes triggers a flush once this many payload bytes are
+	// buffered. Paper value: 1024.
+	BatchBytes int
+	// BatchDelay triggers a flush this long after the first entry of a
+	// batch arrives. Paper value: 5ms.
+	BatchDelay time.Duration
+	// Quorum is the number of ledgers that must acknowledge a batch
+	// before its entries are considered durable. Zero means all.
+	Quorum int
+}
+
+// DefaultConfig returns the paper's batching parameters.
+func DefaultConfig() Config {
+	return Config{BatchBytes: 1024, BatchDelay: 5 * time.Millisecond}
+}
+
+type pendingEntry struct {
+	data []byte
+	done chan error
+}
+
+// Writer batches entries and replicates each batch to a set of ledgers.
+// Append blocks until the entry is durable on a quorum of ledgers, so the
+// caller observes the same group-commit latency profile as the paper's
+// status oracle did with BookKeeper.
+type Writer struct {
+	cfg     Config
+	ledgers []Ledger
+
+	mu      sync.Mutex
+	pending []pendingEntry
+	bytes   int
+	timer   *time.Timer
+	closed  bool
+
+	flushMu sync.Mutex // serializes flushes so batch order is the ledger order
+}
+
+// NewWriter creates a writer replicating to the given ledgers.
+func NewWriter(cfg Config, ledgers ...Ledger) (*Writer, error) {
+	if len(ledgers) == 0 {
+		return nil, errors.New("wal: need at least one ledger")
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 1024
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 5 * time.Millisecond
+	}
+	if cfg.Quorum <= 0 || cfg.Quorum > len(ledgers) {
+		cfg.Quorum = len(ledgers)
+	}
+	return &Writer{cfg: cfg, ledgers: ledgers}, nil
+}
+
+// Append stores one entry and blocks until it is durable on a quorum of
+// ledgers (or the writer fails).
+func (w *Writer) Append(entry []byte) error {
+	done, err := w.AppendAsync(entry)
+	if err != nil {
+		return err
+	}
+	return <-done
+}
+
+// AppendAsync enqueues one entry and returns a channel that reports its
+// durability. The channel receives exactly one value.
+func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
+	data := make([]byte, len(entry))
+	copy(data, entry)
+	done := make(chan error, 1)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	w.pending = append(w.pending, pendingEntry{data: data, done: done})
+	w.bytes += len(data) + frameOverhead
+	if w.bytes >= w.cfg.BatchBytes {
+		batch := w.takeLocked()
+		w.mu.Unlock()
+		go w.flush(batch)
+		return done, nil
+	}
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.cfg.BatchDelay, w.flushTimer)
+	}
+	w.mu.Unlock()
+	return done, nil
+}
+
+// flushTimer fires when BatchDelay elapses.
+func (w *Writer) flushTimer() {
+	w.mu.Lock()
+	batch := w.takeLocked()
+	w.mu.Unlock()
+	if len(batch) > 0 {
+		w.flush(batch)
+	}
+}
+
+// takeLocked removes and returns the pending entries. Caller holds w.mu.
+func (w *Writer) takeLocked() []pendingEntry {
+	batch := w.pending
+	w.pending = nil
+	w.bytes = 0
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	return batch
+}
+
+const frameOverhead = 8 // 4-byte length + 4-byte CRC32 per entry
+
+// encodeBatch frames the entries into one batch payload.
+func encodeBatch(entries []pendingEntry) []byte {
+	size := 0
+	for _, e := range entries {
+		size += frameOverhead + len(e.data)
+	}
+	buf := make([]byte, 0, size)
+	for _, e := range entries {
+		var hdr [frameOverhead]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(e.data)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(e.data))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, e.data...)
+	}
+	return buf
+}
+
+// DecodeBatch splits a batch payload back into entries, verifying CRCs.
+func DecodeBatch(batch []byte) ([][]byte, error) {
+	var entries [][]byte
+	for len(batch) > 0 {
+		if len(batch) < frameOverhead {
+			return nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+		}
+		n := binary.BigEndian.Uint32(batch[0:4])
+		sum := binary.BigEndian.Uint32(batch[4:8])
+		batch = batch[frameOverhead:]
+		if uint32(len(batch)) < n {
+			return nil, fmt.Errorf("%w: truncated entry body", ErrCorrupt)
+		}
+		data := batch[:n]
+		if crc32.ChecksumIEEE(data) != sum {
+			return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		entries = append(entries, data)
+		batch = batch[n:]
+	}
+	return entries, nil
+}
+
+// flush replicates one batch to all ledgers and acknowledges the entries
+// once a quorum has accepted it.
+func (w *Writer) flush(entries []pendingEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+
+	batch := encodeBatch(entries)
+	errs := make(chan error, len(w.ledgers))
+	for _, l := range w.ledgers {
+		go func(l Ledger) {
+			_, err := l.AppendBatch(batch)
+			errs <- err
+		}(l)
+	}
+	acks, fails := 0, 0
+	var firstErr error
+	need := w.cfg.Quorum
+	for i := 0; i < len(w.ledgers); i++ {
+		err := <-errs
+		if err == nil {
+			acks++
+		} else {
+			fails++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if acks >= need {
+			break
+		}
+		if fails > len(w.ledgers)-need {
+			break
+		}
+	}
+	var result error
+	if acks < need {
+		result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
+	}
+	for _, e := range entries {
+		e.done <- result
+	}
+}
+
+// Flush forces out any buffered entries and waits for them.
+func (w *Writer) Flush() {
+	w.mu.Lock()
+	batch := w.takeLocked()
+	w.mu.Unlock()
+	w.flush(batch)
+}
+
+// Close flushes buffered entries and marks the writer closed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	batch := w.takeLocked()
+	w.mu.Unlock()
+	w.flush(batch)
+	return nil
+}
+
+// Replay feeds every entry stored in the ledger, in append order, to fn.
+// It is the recovery path of the status oracle and the timestamp oracle.
+func Replay(l Ledger, fn func(entry []byte) error) error {
+	n, err := l.NumBatches()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		batch, err := l.ReadBatch(i)
+		if err != nil {
+			return err
+		}
+		entries, err := DecodeBatch(batch)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package workload reimplements the parts of the Yahoo! Cloud Serving
+// Benchmark (YCSB, Cooper et al., SoCC'10) that the paper's evaluation
+// (§6.1) depends on: key-choosing distributions (uniform, zipfian,
+// zipfianLatest) and transaction mixes (read-only, complex, mixed).
+//
+// The zipfian generator follows the incremental algorithm of Gray et al.
+// ("Quickly generating billion-record synthetic databases") as used by the
+// original YCSB code: it can cheaply extend its item count, which the
+// "latest" distribution exploits to favour recently inserted records.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Generator produces the next record index to operate on.
+type Generator interface {
+	// Next returns an index in [0, n) where n is the generator's current
+	// item count.
+	Next(r *rand.Rand) int64
+}
+
+// Uniform selects uniformly from [0, N).
+type Uniform struct {
+	N int64
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n int64) *Uniform { return &Uniform{N: n} }
+
+// Next returns a uniformly distributed index.
+func (u *Uniform) Next(r *rand.Rand) int64 { return r.Int63n(u.N) }
+
+// zipfianConstant is YCSB's default skew parameter.
+const zipfianConstant = 0.99
+
+// Zipfian produces indices with a zipfian popularity distribution: item 0
+// is the most popular. Use ScrambledZipfian to spread the popular items
+// over the key space.
+type Zipfian struct {
+	items int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian returns a zipfian generator over [0, items) with the default
+// YCSB skew constant 0.99.
+func NewZipfian(items int64) *Zipfian {
+	return NewZipfianTheta(items, zipfianConstant)
+}
+
+// NewZipfianTheta returns a zipfian generator with skew parameter theta.
+func NewZipfianTheta(items int64, theta float64) *Zipfian {
+	z := &Zipfian{items: items, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(items, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.recomputeEta()
+	return z
+}
+
+func (z *Zipfian) recomputeEta() {
+	z.eta = (1 - math.Pow(2.0/float64(z.items), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// zetaCache memoizes zetaStatic: the benchmark harness builds many
+// generators over the same 20M-item space and the sum costs ~1s there.
+var zetaCache = struct {
+	sync.Mutex
+	m map[[2]float64]float64
+}{m: make(map[[2]float64]float64)}
+
+// zetaStatic computes the n-th generalized harmonic number sum_{i=1..n} 1/i^theta.
+// For the item counts used in the benchmarks (≤ 20M) a direct loop is fast
+// enough and exact; incremental extension uses zetaIncr.
+func zetaStatic(n int64, theta float64) float64 {
+	key := [2]float64{float64(n), theta}
+	zetaCache.Lock()
+	if v, ok := zetaCache.m[key]; ok {
+		zetaCache.Unlock()
+		return v
+	}
+	zetaCache.Unlock()
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Lock()
+	zetaCache.m[key] = sum
+	zetaCache.Unlock()
+	return sum
+}
+
+// zetaIncr extends a zeta value computed for oldN items to newN items.
+func zetaIncr(oldZeta float64, oldN, newN int64, theta float64) float64 {
+	sum := oldZeta
+	for i := oldN + 1; i <= newN; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Items returns the current item count.
+func (z *Zipfian) Items() int64 { return z.items }
+
+// Grow extends the generator to cover newItems items (no-op if smaller).
+// This is the operation the Latest distribution performs after inserts.
+func (z *Zipfian) Grow(newItems int64) {
+	if newItems <= z.items {
+		return
+	}
+	z.zetan = zetaIncr(z.zetan, z.items, newItems, z.theta)
+	z.items = newItems
+	z.recomputeEta()
+}
+
+// Next returns the next zipfian-distributed index; 0 is the hottest item.
+func (z *Zipfian) Next(r *rand.Rand) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.items {
+		idx = z.items - 1
+	}
+	return idx
+}
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a constants used to scramble keys.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV64 hashes v with FNV-1a; exported because the status oracle and the
+// scrambled generator must agree on row hashing in tests.
+func FNV64(v uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// ScrambledZipfian spreads zipfian popularity uniformly across the key
+// space by hashing the rank, matching YCSB's ScrambledZipfianGenerator.
+// This is the generator the paper calls "zipfian": popular items exist but
+// are not clustered in any key range.
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items int64
+}
+
+// NewScrambledZipfian returns a scrambled zipfian generator over [0, items).
+func NewScrambledZipfian(items int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(items), items: items}
+}
+
+// Next returns a hashed zipfian index.
+func (s *ScrambledZipfian) Next(r *rand.Rand) int64 {
+	rank := s.z.Next(r)
+	return int64(FNV64(uint64(rank)) % uint64(s.items))
+}
+
+// Hotspot sends a fixed fraction of operations to a small hot set at the
+// front of the item space and the rest uniformly over the remainder —
+// YCSB's HotspotIntegerGenerator. It is a simpler skew model than zipfian,
+// used by the ablation benchmarks to dial contention precisely.
+type Hotspot struct {
+	items    int64
+	hotItems int64
+	hotFrac  float64
+}
+
+// NewHotspot returns a generator over [0, items) that sends hotFrac of
+// accesses to the first hotItems items.
+func NewHotspot(items, hotItems int64, hotFrac float64) *Hotspot {
+	if hotItems > items {
+		hotItems = items
+	}
+	if hotItems < 1 {
+		hotItems = 1
+	}
+	if hotFrac < 0 {
+		hotFrac = 0
+	}
+	if hotFrac > 1 {
+		hotFrac = 1
+	}
+	return &Hotspot{items: items, hotItems: hotItems, hotFrac: hotFrac}
+}
+
+// Next returns the next index.
+func (h *Hotspot) Next(r *rand.Rand) int64 {
+	if r.Float64() < h.hotFrac {
+		return r.Int63n(h.hotItems)
+	}
+	if h.items == h.hotItems {
+		return r.Int63n(h.items)
+	}
+	return h.hotItems + r.Int63n(h.items-h.hotItems)
+}
+
+// Latest favours recently inserted records: rank 0 is the most recent
+// insert. It matches YCSB's SkewedLatestGenerator and is the paper's
+// "zipfianLatest" distribution. Because ranks count back from the insertion
+// frontier, popular items cluster at the tail of the key space — the
+// property that makes the tail region server a hotspot in Figure 9.
+type Latest struct {
+	z      *Zipfian
+	newest int64 // index of the most recently inserted record
+}
+
+// NewLatest returns a latest-skewed generator where records [0, newest]
+// exist and newest is the most recent insert.
+func NewLatest(newest int64) *Latest {
+	if newest < 1 {
+		newest = 1
+	}
+	return &Latest{z: NewZipfian(newest + 1), newest: newest}
+}
+
+// Insert records that a new record was appended, moving the frontier.
+func (l *Latest) Insert() {
+	l.newest++
+	l.z.Grow(l.newest + 1)
+}
+
+// Newest returns the index of the most recent insert.
+func (l *Latest) Newest() int64 { return l.newest }
+
+// Next returns an index skewed toward the newest records.
+func (l *Latest) Next(r *rand.Rand) int64 {
+	rank := l.z.Next(r)
+	idx := l.newest - rank
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}

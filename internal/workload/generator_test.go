@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(100)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := g.Next(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := NewUniform(10)
+	r := rand.New(rand.NewSource(2))
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		seen[g.Next(r)]++
+	}
+	for v := int64(0); v < 10; v++ {
+		if seen[v] < 700 || seen[v] > 1300 {
+			t.Fatalf("uniform skewed: item %d seen %d/10000", v, seen[v])
+		}
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := NewZipfian(1000)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			v := g.Next(r)
+			if v < 0 || v >= 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// With theta=0.99, item 0 must be by far the most popular and the
+	// head must dominate: top 1% of items should draw well over 20% of
+	// accesses (theory: ~40% for n=10k).
+	g := NewZipfian(10000)
+	r := rand.New(rand.NewSource(3))
+	counts := make([]int, 10000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next(r)]++
+	}
+	if counts[0] < counts[1] {
+		t.Fatalf("item 0 (%d) less popular than item 1 (%d)", counts[0], counts[1])
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / n; frac < 0.20 {
+		t.Fatalf("head fraction = %.3f, want > 0.20", frac)
+	}
+}
+
+func TestZipfianFrequencyMatchesTheory(t *testing.T) {
+	// P(item 0) = 1/zeta(n, theta); check the empirical rate.
+	const items = 1000
+	g := NewZipfian(items)
+	r := rand.New(rand.NewSource(4))
+	const n = 500000
+	zero := 0
+	for i := 0; i < n; i++ {
+		if g.Next(r) == 0 {
+			zero++
+		}
+	}
+	want := 1 / zetaStatic(items, zipfianConstant)
+	got := float64(zero) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(0) = %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestZetaIncrMatchesStatic(t *testing.T) {
+	for _, split := range []int64{1, 10, 500, 999} {
+		full := zetaStatic(1000, 0.99)
+		incr := zetaIncr(zetaStatic(split, 0.99), split, 1000, 0.99)
+		if math.Abs(full-incr) > 1e-9 {
+			t.Fatalf("split %d: static %v != incr %v", split, full, incr)
+		}
+	}
+}
+
+func TestZipfianGrow(t *testing.T) {
+	g := NewZipfian(100)
+	g.Grow(200)
+	if g.Items() != 200 {
+		t.Fatalf("items = %d, want 200", g.Items())
+	}
+	// Growing smaller is a no-op.
+	g.Grow(50)
+	if g.Items() != 200 {
+		t.Fatalf("shrunk to %d", g.Items())
+	}
+	// Distribution parameters must match a freshly built generator.
+	fresh := NewZipfian(200)
+	if math.Abs(g.zetan-fresh.zetan) > 1e-9 || math.Abs(g.eta-fresh.eta) > 1e-9 {
+		t.Fatalf("grown generator diverges from fresh: zetan %v vs %v", g.zetan, fresh.zetan)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotItems(t *testing.T) {
+	// Scrambling must spread popularity: the hottest item is no longer
+	// index 0, and the hot set is not clustered in any small index range.
+	g := NewScrambledZipfian(10000)
+	r := rand.New(rand.NewSource(5))
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		v := g.Next(r)
+		if v < 0 || v >= 10000 {
+			t.Fatalf("scrambled out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Find the top item and check it isn't simply 0..9.
+	best, bestN := int64(-1), 0
+	for v, n := range counts {
+		if n > bestN {
+			best, bestN = v, n
+		}
+	}
+	if best < 10 {
+		t.Fatalf("hot item %d suspiciously low — scrambling broken?", best)
+	}
+	// Per-decile load must be roughly balanced (hot items spread out).
+	var decile [10]int
+	for v, n := range counts {
+		decile[v/1000] += n
+	}
+	for i, n := range decile {
+		if n < 2000 {
+			t.Fatalf("decile %d starved: %d accesses", i, n)
+		}
+	}
+}
+
+func TestLatestFavoursNewest(t *testing.T) {
+	l := NewLatest(9999)
+	r := rand.New(rand.NewSource(6))
+	newestHalf := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := l.Next(r)
+		if v < 0 || v > 9999 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 5000 {
+			newestHalf++
+		}
+	}
+	if frac := float64(newestHalf) / n; frac < 0.85 {
+		t.Fatalf("newest half drew only %.2f of accesses", frac)
+	}
+}
+
+func TestLatestInsertMovesFrontier(t *testing.T) {
+	l := NewLatest(99)
+	r := rand.New(rand.NewSource(7))
+	l.Insert()
+	l.Insert()
+	if l.Newest() != 101 {
+		t.Fatalf("newest = %d, want 101", l.Newest())
+	}
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		if l.Next(r) >= 100 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("frontier items never drawn after Insert")
+	}
+}
+
+func TestHotspotFractions(t *testing.T) {
+	g := NewHotspot(10000, 100, 0.9)
+	r := rand.New(rand.NewSource(8))
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := g.Next(r)
+		if v < 0 || v >= 10000 {
+			t.Fatalf("hotspot out of range: %d", v)
+		}
+		if v < 100 {
+			hot++
+		}
+	}
+	if f := float64(hot) / n; f < 0.87 || f > 0.93 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", f)
+	}
+}
+
+func TestHotspotClamping(t *testing.T) {
+	g := NewHotspot(10, 50, 2.0) // hotItems > items, frac > 1
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		if v := g.Next(r); v < 0 || v >= 10 {
+			t.Fatalf("clamped hotspot out of range: %d", v)
+		}
+	}
+}
+
+func TestFNV64KnownVector(t *testing.T) {
+	// FNV-1a over 8 little-endian zero bytes must differ from offset and
+	// be stable across calls.
+	a, b := FNV64(0), FNV64(0)
+	if a != b {
+		t.Fatal("FNV64 not deterministic")
+	}
+	if FNV64(1) == FNV64(2) {
+		t.Fatal("suspicious collision on tiny inputs")
+	}
+}

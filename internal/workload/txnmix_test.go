@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixRowCountBounds(t *testing.T) {
+	m := NewMix(MixedWorkload(), NewUniform(1000))
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tx := m.Next(r)
+		if len(tx.Ops) > 20 {
+			t.Fatalf("transaction touches %d rows, max 20", len(tx.Ops))
+		}
+	}
+}
+
+func TestMixReadOnlyHasNoWrites(t *testing.T) {
+	m := NewMix(MixedWorkload(), NewUniform(1000))
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		tx := m.Next(r)
+		if tx.Kind != TxnReadOnly {
+			continue
+		}
+		for _, op := range tx.Ops {
+			if op.Kind == OpWrite {
+				t.Fatalf("read-only transaction contains a write")
+			}
+		}
+		if len(tx.WriteRows()) != 0 {
+			t.Fatalf("read-only WriteRows non-empty")
+		}
+	}
+}
+
+func TestMixedWorkloadFractions(t *testing.T) {
+	m := NewMix(MixedWorkload(), NewUniform(1000))
+	r := rand.New(rand.NewSource(3))
+	ro, n := 0, 20000
+	reads, writes := 0, 0
+	for i := 0; i < n; i++ {
+		tx := m.Next(r)
+		if tx.Kind == TxnReadOnly {
+			ro++
+			continue
+		}
+		for _, op := range tx.Ops {
+			if op.Kind == OpRead {
+				reads++
+			} else {
+				writes++
+			}
+		}
+	}
+	if f := float64(ro) / float64(n); f < 0.47 || f > 0.53 {
+		t.Fatalf("read-only fraction = %.3f, want ~0.5", f)
+	}
+	if tot := reads + writes; tot > 0 {
+		if f := float64(writes) / float64(tot); f < 0.47 || f > 0.53 {
+			t.Fatalf("write op fraction = %.3f, want ~0.5", f)
+		}
+	}
+}
+
+func TestComplexWorkloadHasNoReadOnly(t *testing.T) {
+	m := NewMix(ComplexWorkload(), NewUniform(1000))
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		if tx := m.Next(r); tx.Kind == TxnReadOnly {
+			t.Fatal("complex workload generated a read-only transaction")
+		}
+	}
+}
+
+func TestRowSetsDistinct(t *testing.T) {
+	prop := func(seed int64) bool {
+		m := NewMix(ComplexWorkload(), NewUniform(10)) // small space forces repeats
+		r := rand.New(rand.NewSource(seed))
+		tx := m.Next(r)
+		seen := make(map[int64]bool)
+		for _, row := range tx.ReadRows() {
+			if seen[row] {
+				return false
+			}
+			seen[row] = true
+		}
+		seen = make(map[int64]bool)
+		for _, row := range tx.WriteRows() {
+			if seen[row] {
+				return false
+			}
+			seen[row] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyFixedWidthAndOrdered(t *testing.T) {
+	prev := ""
+	for _, row := range []int64{0, 1, 9, 10, 999, 1000, 999999999999} {
+		k := Key(row)
+		if len(k) != len("user")+12 {
+			t.Fatalf("Key(%d) = %q: wrong width", row, k)
+		}
+		if k <= prev {
+			t.Fatalf("keys not ordered: %q <= %q", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestTxnKindString(t *testing.T) {
+	if TxnReadOnly.String() != "read-only" || TxnComplex.String() != "complex" {
+		t.Fatalf("bad TxnKind strings: %v %v", TxnReadOnly, TxnComplex)
+	}
+	if TxnKind(9).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
