@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -214,6 +215,90 @@ func BenchmarkWALBatching(b *testing.B) {
 			if err := w.Append(rec); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// --- Batched commit pipeline ---------------------------------------------
+
+// BenchmarkCommitBatch measures per-transaction commit cost through
+// CommitBatch across batch sizes (batch-1 is the serial Commit wrapper's
+// cost); the amortization of shard locks and timestamp allocation is the
+// headroom behind the batched network and client pipelines. Each benchmark
+// op is one transaction, so ns/op is directly comparable across sizes.
+func BenchmarkCommitBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			clock := tso.New(0, nil)
+			so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: clock})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			reqs := make([]oracle.CommitRequest, size)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += size {
+				n := size
+				if b.N-done < n {
+					n = b.N - done
+				}
+				for i := 0; i < n; i++ {
+					ts, err := so.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs[i] = oracle.CommitRequest{StartTS: ts}
+					for j := 0; j < 10; j++ {
+						reqs[i].WriteSet = append(reqs[i].WriteSet, oracle.RowID(rng.Int63n(20_000_000)))
+						reqs[i].ReadSet = append(reqs[i].ReadSet, oracle.RowID(rng.Int63n(20_000_000)))
+					}
+				}
+				if _, err := so.CommitBatch(reqs[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommitAsyncPipeline measures end-to-end transaction throughput of
+// the client-side commit pipeliner: parallel workers keep async commits in
+// flight and the pipeliner coalesces them into oracle batches.
+func BenchmarkCommitAsyncPipeline(b *testing.B) {
+	sys, err := core.New(core.Options{Engine: core.WSI, CommitBatchSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Keep a window of commits in flight per worker so the pipeliner
+		// cuts full batches instead of timing out on stragglers.
+		const window = 32
+		futures := make([]<-chan txn.CommitOutcome, 0, window)
+		drain := func(f <-chan txn.CommitOutcome) {
+			if out := <-f; out.Err != nil && !core.IsConflict(out.Err) {
+				b.Fatal(out.Err)
+			}
+		}
+		for pb.Next() {
+			tx, err := sys.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := seq.Add(1)
+			if err := tx.Put(workload.Key(k%100_000), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+			if len(futures) == window {
+				drain(futures[0])
+				futures = futures[1:]
+			}
+			futures = append(futures, tx.CommitAsync())
+		}
+		for _, f := range futures {
+			drain(f)
 		}
 	})
 }

@@ -23,11 +23,22 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "substring selecting experiments (see -list)")
-		quick = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "all", "substring selecting experiments (see -list)")
+		quick    = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		batchMax = flag.Int("batchmax", 0, "cap the commit-batch sweep of the batch experiment (0 = full sweep)")
 	)
 	flag.Parse()
+
+	if *batchMax > 0 {
+		var sizes []int
+		for _, s := range bench.BatchSizes {
+			if s <= *batchMax {
+				sizes = append(sizes, s)
+			}
+		}
+		bench.BatchSizes = sizes
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/netsrv"
 	"repro/internal/oracle"
@@ -35,6 +36,9 @@ func main() {
 		maxRows = flag.Int("max-rows", 0, "bound on retained lastCommit rows (Algorithm 3 NR; 0 = unbounded)")
 		shards  = flag.Int("shards", 1, "critical-section shards (1 = paper's implementation)")
 		fsync   = flag.Bool("fsync", true, "fsync each WAL batch (with -wal)")
+
+		coalesce      = flag.Int("coalesce", 0, "server-side commit coalescing: max single-commit frames merged into one oracle batch (0 = off)")
+		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a commit waits for its batch to fill (with -coalesce)")
 	)
 	flag.Parse()
 
@@ -85,6 +89,11 @@ func main() {
 	}
 
 	srv := netsrv.NewServer(so)
+	if *coalesce > 0 {
+		srv.CoalesceMaxBatch = *coalesce
+		srv.CoalesceMaxDelay = *coalesceDelay
+		log.Printf("oracle-server: coalescing up to %d commits per batch (max delay %v)", *coalesce, *coalesceDelay)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)

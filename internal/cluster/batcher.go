@@ -1,0 +1,73 @@
+package cluster
+
+import "repro/internal/oracle"
+
+// pendingCommit is one write transaction parked in the batcher.
+type pendingCommit struct {
+	req oracle.CommitRequest
+	c   *client
+}
+
+// commitBatcher is the simulated group-commit coalescer: write-transaction
+// commits accumulate for at most CommitBatchDelayMS of virtual time or until
+// CommitBatch requests are parked, then the whole batch is decided in one
+// status-oracle critical-section pass and shares a single WAL group-commit
+// round trip — the virtual-time mirror of netsrv's coalescer over
+// oracle.CommitBatch.
+type commitBatcher struct {
+	m       *model
+	pending []pendingCommit
+	armed   bool
+}
+
+// enqueue parks one commit and arms the delay trigger.
+func (b *commitBatcher) enqueue(c *client, req oracle.CommitRequest) {
+	b.pending = append(b.pending, pendingCommit{req: req, c: c})
+	if len(b.pending) >= b.m.cfg.CommitBatch {
+		b.flush()
+		return
+	}
+	if !b.armed {
+		b.armed = true
+		b.m.sim.After(b.m.cfg.CommitBatchDelayMS, func() {
+			b.armed = false
+			b.flush()
+		})
+	}
+}
+
+// flush decides the accumulated batch.
+func (b *commitBatcher) flush() {
+	if len(b.pending) == 0 {
+		return
+	}
+	batch := b.pending
+	b.pending = nil
+	cfg := &b.m.cfg
+	// The critical section still checks every transaction (§6.3), so its
+	// service time scales with the batch; the WAL round trip below is paid
+	// once for the whole batch — that is the group-commit win.
+	service := cfg.SOServiceMS
+	if cfg.Engine == oracle.WSI {
+		service *= cfg.WSIServiceFactor
+	}
+	service *= float64(len(batch))
+	b.m.soRes.Acquire(func(release func()) {
+		reqs := make([]oracle.CommitRequest, len(batch))
+		for i := range batch {
+			reqs[i] = batch[i].req
+		}
+		results, err := b.m.so.CommitBatch(reqs)
+		b.m.sim.After(service, func() {
+			release()
+			if err != nil {
+				return
+			}
+			b.m.sim.After(cfg.CommitMS, func() {
+				for i := range batch {
+					batch[i].c.finish(results[i].Committed)
+				}
+			})
+		})
+	})
+}

@@ -102,6 +102,12 @@ func (c *client) commit() {
 		})
 		return
 	}
+	// Batched mode parks the request in the group-commit coalescer
+	// instead of entering the critical section alone.
+	if c.m.batcher != nil {
+		c.m.batcher.enqueue(c, req)
+		return
+	}
 	service := cfg.SOServiceMS
 	if cfg.Engine == oracle.WSI {
 		service *= cfg.WSIServiceFactor

@@ -88,6 +88,15 @@ type Config struct {
 	HotTailFraction  float64
 	HotSpreadServers int
 
+	// Commit batching. CommitBatch > 1 routes write-transaction commits
+	// through a group-commit batcher: up to CommitBatch requests are
+	// accumulated for at most CommitBatchDelayMS of virtual time, then
+	// decided in one status-oracle batch sharing a single critical-section
+	// pass and one WAL group-commit round trip (CommitMS). 0 or 1
+	// reproduces the paper's one-commit-at-a-time oracle.
+	CommitBatch        int
+	CommitBatchDelayMS float64
+
 	// Horizon control.
 	WarmupMS  float64
 	MeasureMS float64
@@ -134,6 +143,9 @@ type Result struct {
 	CacheHitRate float64
 	Committed    int64
 	Aborted      int64
+	// BatchSizeAvg is the mean write transactions per oracle batch
+	// (1 when commit batching is off).
+	BatchSizeAvg float64
 	// Server-load imbalance over the measurement window: utilization is
 	// busy-handler-time / (handlers × window). Uniform and (scrambled)
 	// zipfian traffic keeps Max ≈ Mean; zipfianLatest drives Max toward
@@ -151,6 +163,7 @@ type model struct {
 	mix     *workload.Mix
 	gen     workload.Generator
 	soRes   *sim.Resource
+	batcher *commitBatcher // nil unless cfg.CommitBatch > 1
 
 	measuring bool
 	committed int64
@@ -178,6 +191,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	s := sim.New(cfg.Seed)
 	m := &model{cfg: cfg, sim: s, so: so, soRes: sim.NewResource(s, 1)}
+	if cfg.CommitBatch > 1 {
+		if m.cfg.CommitBatchDelayMS <= 0 {
+			m.cfg.CommitBatchDelayMS = 1.0
+		}
+		m.batcher = &commitBatcher{m: m}
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		m.servers = append(m.servers, &server{
 			handlers: sim.NewResource(s, cfg.HandlerThreads),
@@ -219,6 +238,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	if ops := m.hits + m.misses; ops > 0 {
 		res.CacheHitRate = float64(m.hits) / float64(ops)
+	}
+	res.BatchSizeAvg = 1
+	if st := so.Stats(); st.Batches > 0 {
+		res.BatchSizeAvg = st.BatchSizeAvg
 	}
 	capacityMS := float64(cfg.HandlerThreads) * cfg.MeasureMS
 	var sum float64

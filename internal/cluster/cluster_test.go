@@ -227,3 +227,29 @@ func TestServerOfRangePartitioning(t *testing.T) {
 		t.Fatal("range partitioning broken")
 	}
 }
+
+// TestBatchedCommitRun exercises the simulated group-commit coalescer: the
+// run must behave like a normal cluster (commits flow, aborts bounded) while
+// the oracle observes multi-transaction batches.
+func TestBatchedCommitRun(t *testing.T) {
+	cfg := Defaults()
+	cfg.Rows = 100_000
+	cfg.CacheRows = 5_000
+	cfg.Clients = 60
+	cfg.WarmupMS = 2_000
+	cfg.MeasureMS = 8_000
+	cfg.CommitBatch = 16
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("batched run committed nothing")
+	}
+	if res.BatchSizeAvg <= 1 {
+		t.Fatalf("BatchSizeAvg = %v, want > 1 with 60 clients and batch 16", res.BatchSizeAvg)
+	}
+	if res.AbortRate > 0.5 {
+		t.Fatalf("abort rate %v unreasonably high", res.AbortRate)
+	}
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/oracle"
@@ -80,6 +81,13 @@ type Options struct {
 	Latency kvstore.LatencyModel
 	// Bucketer enables the §5.2 analytics extension.
 	Bucketer txn.Bucketer
+	// CommitBatchSize caps how many Txn.CommitAsync submissions the
+	// client's commit pipeliner coalesces into one oracle batch
+	// (default txn.DefaultCommitBatchSize).
+	CommitBatchSize int
+	// CommitBatchDelay is how long the pipeliner waits for a commit
+	// batch to fill before cutting it (default txn.DefaultCommitBatchDelay).
+	CommitBatchDelay time.Duration
 }
 
 // System is a wired-up transactional store.
@@ -149,8 +157,10 @@ func New(opts Options) (*System, error) {
 	})
 
 	client, err := txn.NewClient(sys.Store, so, txn.Config{
-		Mode:     opts.Mode,
-		Bucketer: opts.Bucketer,
+		Mode:             opts.Mode,
+		Bucketer:         opts.Bucketer,
+		CommitBatchSize:  opts.CommitBatchSize,
+		CommitBatchDelay: opts.CommitBatchDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -234,7 +244,12 @@ func Recover(crashed *System, opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Oracle = so
-	client, err := txn.NewClient(sys.Store, so, txn.Config{Mode: opts.Mode, Bucketer: opts.Bucketer})
+	client, err := txn.NewClient(sys.Store, so, txn.Config{
+		Mode:             opts.Mode,
+		Bucketer:         opts.Bucketer,
+		CommitBatchSize:  opts.CommitBatchSize,
+		CommitBatchDelay: opts.CommitBatchDelay,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -292,3 +292,57 @@ func TestStatsSurface(t *testing.T) {
 		t.Fatalf("stats = %+v", s)
 	}
 }
+
+// TestCommitAsyncDurablePipeline drives the whole batched commit pipeline
+// through the facade: a durable system, many async commits in flight,
+// batch-encoded WAL records, then crash recovery of the batched state.
+func TestCommitAsyncDurablePipeline(t *testing.T) {
+	sys := newSystem(t, Options{
+		Engine:          WSI,
+		Durable:         true,
+		CommitBatchSize: 16,
+	})
+	const n = 48
+	futures := make([]<-chan txn.CommitOutcome, n)
+	for i := 0; i < n; i++ {
+		tx, err := sys.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Put(fmt.Sprintf("acct%02d", i), []byte("100")); err != nil {
+			t.Fatal(err)
+		}
+		futures[i] = tx.CommitAsync()
+	}
+	commitTS := make([]uint64, n)
+	for i, f := range futures {
+		out := <-f
+		if out.Err != nil {
+			t.Fatalf("async commit %d: %v", i, out.Err)
+		}
+		commitTS[i] = out.CommitTS
+	}
+	if st := sys.Stats(); st.Commits != n || st.Batches >= n || st.BatchSizeAvg <= 1 {
+		t.Fatalf("batching not visible in stats: %+v", st)
+	}
+
+	sys.FlushWAL()
+	recovered, err := Recover(sys, Options{Engine: WSI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	tx, err := recovered.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tx.Get(fmt.Sprintf("acct%02d", i))
+		if err != nil || !ok || string(v) != "100" {
+			t.Fatalf("recovered acct%02d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 
@@ -154,13 +155,27 @@ func (c *Client) Commit(req oracle.CommitRequest) (oracle.CommitResult, error) {
 	if err != nil {
 		return oracle.CommitResult{}, err
 	}
-	if len(payload) != 9 {
-		return oracle.CommitResult{}, ErrBadFrame
+	return parseCommitResult(payload)
+}
+
+// CommitBatch submits a batch of commit requests as one frame; the server
+// decides them in request order through the oracle's batched commit path.
+func (c *Client) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
 	}
-	return oracle.CommitResult{
-		Committed: payload[0] == 1,
-		CommitTS:  binary.BigEndian.Uint64(payload[1:]),
-	}, nil
+	payload, err := c.call(opCommitBatch, encodeCommitBatchReq(reqs))
+	if err != nil {
+		return nil, err
+	}
+	results, err := decodeCommitBatchResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(reqs) {
+		return nil, ErrBadFrame
+	}
+	return results, nil
 }
 
 // Abort records an explicit abort.
@@ -196,7 +211,7 @@ func (c *Client) Stats() (oracle.Stats, error) {
 	if err != nil {
 		return oracle.Stats{}, err
 	}
-	if len(payload) != 48 {
+	if len(payload) != 64 {
 		return oracle.Stats{}, ErrBadFrame
 	}
 	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(payload[i*8:])) }
@@ -207,6 +222,8 @@ func (c *Client) Stats() (oracle.Stats, error) {
 		ConflictAborts:  v(3),
 		TmaxAborts:      v(4),
 		ExplicitAborts:  v(5),
+		Batches:         v(6),
+		BatchSizeAvg:    math.Float64frombits(binary.BigEndian.Uint64(payload[7*8:])),
 	}, nil
 }
 

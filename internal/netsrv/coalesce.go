@@ -1,0 +1,45 @@
+package netsrv
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/oracle"
+)
+
+// ErrServerClosed reports a commit submitted while the server shuts down.
+var ErrServerClosed = errors.New("netsrv: server closed")
+
+// coalescer adapts the shared oracle.Batcher as the server-side commit
+// coalescer: concurrent single-commit frames (each handled by its own
+// goroutine) are merged into oracle batches, so existing unbatched clients
+// transparently ride the batched commit path.
+type coalescer struct {
+	b *oracle.Batcher
+}
+
+func newCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Duration) *coalescer {
+	return &coalescer{b: oracle.NewBatcher(so.CommitBatch, maxBatch, maxDelay)}
+}
+
+// submit parks one commit request in the accumulation loop and waits for its
+// batch's decision.
+func (c *coalescer) submit(req oracle.CommitRequest) (oracle.CommitResult, error) {
+	type outcome struct {
+		res oracle.CommitResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	c.b.Submit(req, func(res oracle.CommitResult, err error) {
+		done <- outcome{res: res, err: err}
+	})
+	o := <-done
+	if errors.Is(o.err, oracle.ErrBatcherStopped) {
+		return oracle.CommitResult{}, ErrServerClosed
+	}
+	return o.res, o.err
+}
+
+// stop shuts the loop down. The server calls it only after every connection
+// handler has returned, so no submitter can be left waiting.
+func (c *coalescer) stop() { c.b.Stop() }

@@ -398,3 +398,219 @@ func TestManyClientsOneServer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestCommitBatchOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	t1, _ := c.Begin()
+	t2, _ := c.Begin()
+	t3, _ := c.Begin()
+	results, err := c.CommitBatch([]oracle.CommitRequest{
+		{StartTS: t1, WriteSet: []oracle.RowID{1}},
+		{StartTS: t2, WriteSet: []oracle.RowID{2}, ReadSet: []oracle.RowID{1}}, // intra-batch conflict
+		{StartTS: t3}, // read-only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if !results[0].Committed || results[1].Committed || !results[2].Committed {
+		t.Fatalf("decisions = %+v", results)
+	}
+	if results[2].CommitTS != t3 {
+		t.Fatalf("read-only commit ts = %d, want snapshot %d", results[2].CommitTS, t3)
+	}
+	if empty, err := c.CommitBatch(nil); err != nil || empty != nil {
+		t.Fatalf("empty batch: %v, %v", empty, err)
+	}
+}
+
+func TestCommitBatchReqRoundTrip(t *testing.T) {
+	reqs := []oracle.CommitRequest{
+		{StartTS: 9, WriteSet: []oracle.RowID{1, 2}, ReadSet: []oracle.RowID{3}},
+		{StartTS: 11},
+		{StartTS: 13, ReadSet: []oracle.RowID{4, 5, 6}},
+	}
+	dec, err := decodeCommitBatchReq(encodeCommitBatchReq(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(reqs) {
+		t.Fatalf("decoded %d requests, want %d", len(dec), len(reqs))
+	}
+	for i := range reqs {
+		if dec[i].StartTS != reqs[i].StartTS ||
+			len(dec[i].WriteSet) != len(reqs[i].WriteSet) ||
+			len(dec[i].ReadSet) != len(reqs[i].ReadSet) {
+			t.Fatalf("request %d: %+v != %+v", i, dec[i], reqs[i])
+		}
+	}
+	if _, err := decodeCommitBatchReq([]byte{0, 0}); err == nil {
+		t.Fatal("short payload decoded without error")
+	}
+	// A count far beyond the payload length must be rejected up front.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := decodeCommitBatchReq(huge); err == nil {
+		t.Fatal("absurd count decoded without error")
+	}
+}
+
+func TestCommitBatchRespRejectsCorruption(t *testing.T) {
+	resp := encodeCommitBatchResp([]oracle.CommitResult{{Committed: true, CommitTS: 42}})
+	if _, err := decodeCommitBatchResp(resp[:len(resp)-1]); err == nil {
+		t.Fatal("truncated response decoded without error")
+	}
+	if _, err := decodeCommitBatchResp(append(resp, 0)); err == nil {
+		t.Fatal("padded response decoded without error")
+	}
+}
+
+// TestCoalescerMergesConcurrentCommits drives many concurrent single-commit
+// frames through a coalescing server and checks every decision still matches
+// WSI single-row semantics while the oracle observes multi-transaction
+// batches.
+func TestCoalescerMergesConcurrentCommits(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(so)
+	srv.Logf = nil
+	srv.CoalesceMaxBatch = 16
+	srv.CoalesceMaxDelay = time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines, per = 16, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ts, err := c.Begin()
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Distinct rows per goroutine: every commit must win.
+				row := oracle.RowID(g*1000 + i)
+				res, err := c.Commit(oracle.CommitRequest{
+					StartTS:  ts,
+					WriteSet: []oracle.RowID{row},
+					ReadSet:  []oracle.RowID{row},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Committed {
+					errs <- fmt.Errorf("disjoint-row commit aborted (row %d)", row)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := so.Stats()
+	if st.Commits != goroutines*per {
+		t.Fatalf("Commits = %d, want %d", st.Commits, goroutines*per)
+	}
+	if st.Batches >= goroutines*per {
+		t.Fatalf("coalescer produced %d batches for %d commits — nothing merged", st.Batches, goroutines*per)
+	}
+	if st.BatchSizeAvg <= 1 {
+		t.Fatalf("BatchSizeAvg = %v, want > 1", st.BatchSizeAvg)
+	}
+}
+
+// TestCoalescerConflictDecisions checks that conflicting commits coalesced
+// into one batch still resolve first-committer-wins.
+func TestCoalescerConflictDecisions(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := oracle.New(oracle.Config{Engine: oracle.SI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(so)
+	srv.Logf = nil
+	srv.CoalesceMaxBatch = 8
+	srv.CoalesceMaxDelay = time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const contenders = 8
+	starts := make([]uint64, contenders)
+	for i := range starts {
+		if starts[i], err = c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wins := make(chan bool, contenders)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(ts uint64) {
+			defer wg.Done()
+			res, err := c.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{77}})
+			if err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+			wins <- res.Committed
+		}(starts[i])
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d contenders on one row committed, want exactly 1", won)
+	}
+}
+
+func TestStatsBatchFieldsOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	t1, _ := c.Begin()
+	t2, _ := c.Begin()
+	if _, err := c.CommitBatch([]oracle.CommitRequest{
+		{StartTS: t1, WriteSet: []oracle.RowID{1}},
+		{StartTS: t2, WriteSet: []oracle.RowID{2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.BatchSizeAvg != 2 {
+		t.Fatalf("Batches = %d BatchSizeAvg = %v, want 1 and 2", st.Batches, st.BatchSizeAvg)
+	}
+}

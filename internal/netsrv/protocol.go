@@ -26,13 +26,14 @@ import (
 
 // Operation codes.
 const (
-	opBegin     = 1
-	opCommit    = 2
-	opAbort     = 3
-	opQuery     = 4
-	opForget    = 5
-	opSubscribe = 6
-	opStats     = 7
+	opBegin       = 1
+	opCommit      = 2
+	opAbort       = 3
+	opQuery       = 4
+	opForget      = 5
+	opSubscribe   = 6
+	opStats       = 7
+	opCommitBatch = 8
 )
 
 // Response codes.
@@ -122,17 +123,7 @@ func encodeCommitReq(req oracle.CommitRequest) []byte {
 }
 
 func decodeCommitReq(b []byte) (oracle.CommitRequest, error) {
-	if len(b) < 8 {
-		return oracle.CommitRequest{}, ErrBadFrame
-	}
-	req := oracle.CommitRequest{StartTS: binary.BigEndian.Uint64(b[:8])}
-	var err error
-	rest := b[8:]
-	req.WriteSet, rest, err = parseRows(rest)
-	if err != nil {
-		return oracle.CommitRequest{}, err
-	}
-	req.ReadSet, rest, err = parseRows(rest)
+	req, rest, err := parseCommitReq(b)
 	if err != nil {
 		return oracle.CommitRequest{}, err
 	}
@@ -140,6 +131,115 @@ func decodeCommitReq(b []byte) (oracle.CommitRequest, error) {
 		return oracle.CommitRequest{}, ErrBadFrame
 	}
 	return req, nil
+}
+
+// parseCommitReq decodes one commit request from the front of b, returning
+// the remainder; commit-batch payloads are a plain concatenation of these.
+func parseCommitReq(b []byte) (oracle.CommitRequest, []byte, error) {
+	if len(b) < 8 {
+		return oracle.CommitRequest{}, nil, ErrBadFrame
+	}
+	req := oracle.CommitRequest{StartTS: binary.BigEndian.Uint64(b[:8])}
+	var err error
+	rest := b[8:]
+	req.WriteSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.CommitRequest{}, nil, err
+	}
+	req.ReadSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.CommitRequest{}, nil, err
+	}
+	return req, rest, nil
+}
+
+// encodeCommitBatchReq renders a batched commit payload: count(u32) followed
+// by the concatenated single-commit encodings.
+func encodeCommitBatchReq(reqs []oracle.CommitRequest) []byte {
+	b := make([]byte, 4, 4+len(reqs)*32)
+	binary.BigEndian.PutUint32(b, uint32(len(reqs)))
+	for i := range reqs {
+		b = append(b, encodeCommitReq(reqs[i])...)
+	}
+	return b
+}
+
+func decodeCommitBatchReq(b []byte) ([]oracle.CommitRequest, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	// Each request is at least 16 bytes (startTS + two empty row sets);
+	// bounding by the payload length rejects absurd counts before
+	// allocating.
+	if uint64(count)*16 > uint64(len(rest)) {
+		return nil, ErrBadFrame
+	}
+	reqs := make([]oracle.CommitRequest, count)
+	var err error
+	for i := range reqs {
+		reqs[i], rest, err = parseCommitReq(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadFrame
+	}
+	return reqs, nil
+}
+
+// encodeCommitResult renders one commit decision: committed(u8) commitTS(u64).
+func encodeCommitResult(b []byte, res oracle.CommitResult) []byte {
+	var out [9]byte
+	if res.Committed {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint64(out[1:], res.CommitTS)
+	return append(b, out[:]...)
+}
+
+func parseCommitResult(b []byte) (oracle.CommitResult, error) {
+	if len(b) != 9 {
+		return oracle.CommitResult{}, ErrBadFrame
+	}
+	return oracle.CommitResult{
+		Committed: b[0] == 1,
+		CommitTS:  binary.BigEndian.Uint64(b[1:]),
+	}, nil
+}
+
+// encodeCommitBatchResp renders the decisions of a commit batch:
+// count(u32) then 9 bytes per result.
+func encodeCommitBatchResp(results []oracle.CommitResult) []byte {
+	b := make([]byte, 4, 4+len(results)*9)
+	binary.BigEndian.PutUint32(b, uint32(len(results)))
+	for i := range results {
+		b = encodeCommitResult(b, results[i])
+	}
+	return b
+}
+
+func decodeCommitBatchResp(b []byte) ([]oracle.CommitResult, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(len(rest)) != uint64(count)*9 {
+		return nil, ErrBadFrame
+	}
+	results := make([]oracle.CommitResult, count)
+	for i := range results {
+		var err error
+		results[i], err = parseCommitResult(rest[:9])
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[9:]
+	}
+	return results, nil
 }
 
 // u64 renders one big-endian uint64 payload.

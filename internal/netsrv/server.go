@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"log"
+	"math"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/oracle"
 )
@@ -15,8 +17,9 @@ import (
 // serial handling would needlessly batch latencies); responses carry the
 // request id and may arrive out of order.
 type Server struct {
-	so *oracle.StatusOracle
-	ln net.Listener
+	so   *oracle.StatusOracle
+	ln   net.Listener
+	coal *coalescer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -26,7 +29,19 @@ type Server struct {
 	// Logf, when set, receives per-connection error logs (defaults to
 	// log.Printf; tests silence it).
 	Logf func(format string, args ...interface{})
+
+	// CoalesceMaxBatch, when > 0, enables the server-side commit
+	// coalescer: concurrent single-commit frames are accumulated into
+	// oracle batches of up to this size, cut after CoalesceMaxDelay if a
+	// batch does not fill first. Set both before Listen. Batched frames
+	// (opCommitBatch) bypass the coalescer — they are already batches.
+	CoalesceMaxBatch int
+	CoalesceMaxDelay time.Duration
 }
+
+// defaultCoalesceDelay bounds the extra latency the coalescer may add to a
+// single commit while waiting for a batch to fill.
+const defaultCoalesceDelay = 200 * time.Microsecond
 
 // NewServer wraps a status oracle for network service.
 func NewServer(so *oracle.StatusOracle) *Server {
@@ -39,6 +54,13 @@ func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
+	}
+	if s.CoalesceMaxBatch > 0 {
+		delay := s.CoalesceMaxDelay
+		if delay <= 0 {
+			delay = defaultCoalesceDelay
+		}
+		s.coal = newCoalescer(s.so, s.CoalesceMaxBatch, delay)
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -94,7 +116,12 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Handlers drain first (commits parked in the coalescer still get
+	// their decisions), then the coalescer loop is stopped.
 	s.wg.Wait()
+	if s.coal != nil {
+		s.coal.stop()
+	}
 	return err
 }
 
@@ -170,16 +197,26 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		res, err := s.so.Commit(req)
+		var res oracle.CommitResult
+		if s.coal != nil {
+			res, err = s.coal.submit(req)
+		} else {
+			res, err = s.so.Commit(req)
+		}
 		if err != nil {
 			return respError(reqID, err)
 		}
-		out := make([]byte, 9)
-		if res.Committed {
-			out[0] = 1
+		return respOK(reqID, encodeCommitResult(nil, res))
+	case opCommitBatch:
+		reqs, err := decodeCommitBatchReq(payload)
+		if err != nil {
+			return respError(reqID, err)
 		}
-		binary.BigEndian.PutUint64(out[1:], res.CommitTS)
-		return respOK(reqID, out)
+		results, err := s.so.CommitBatch(reqs)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, encodeCommitBatchResp(results))
 	case opAbort:
 		ts, err := parseU64(payload)
 		if err != nil {
@@ -204,10 +241,11 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		return respOK(reqID, nil)
 	case opStats:
 		st := s.so.Stats()
-		out := make([]byte, 6*8)
-		for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts} {
+		out := make([]byte, 8*8)
+		for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts, st.Batches} {
 			binary.BigEndian.PutUint64(out[i*8:], uint64(v))
 		}
+		binary.BigEndian.PutUint64(out[7*8:], math.Float64bits(st.BatchSizeAvg))
 		return respOK(reqID, out)
 	default:
 		return respError(reqID, errors.New("unknown operation"))

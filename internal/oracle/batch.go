@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// batchPlaceholderBase is the provisional commit timestamp assigned to a
+// batch entry's lastCommit updates before the batch's real timestamp block
+// is allocated. Placeholders live only while the shard locks are held, are
+// larger than any real timestamp or start timestamp (timestamps are issued
+// from 1 and never approach 2^63), and preserve intra-batch commit order, so
+// every comparison the conflict check and the eviction path perform against
+// a placeholder yields the same outcome it would with the final timestamp
+// lo+k.
+const batchPlaceholderBase = uint64(1) << 63
+
+// batchAbort records one conflict decision inside a batch.
+type batchAbort struct {
+	idx  int // index into reqs
+	tmax bool
+}
+
+// singleShardLocks is the lock set of every batch on an unsharded oracle;
+// callers only iterate it, so one shared instance serves all batches.
+var singleShardLocks = []int{0}
+
+// batchLockSet computes the ordered union of shard indexes covering every
+// check and write row of the batch's write requests, so the whole batch is
+// processed under one lock acquisition per shard.
+func (s *StatusOracle) batchLockSet(reqs []CommitRequest, writeIdx []int) []int {
+	if len(s.shards) == 1 {
+		return singleShardLocks
+	}
+	seen := make(map[int]struct{}, len(s.shards))
+	for _, i := range writeIdx {
+		for _, r := range reqs[i].WriteSet {
+			seen[s.shardOf(r)] = struct{}{}
+		}
+		checkRows := reqs[i].WriteSet
+		if s.cfg.Engine == WSI {
+			checkRows = reqs[i].ReadSet
+		}
+		for _, r := range checkRows {
+			seen[s.shardOf(r)] = struct{}{}
+		}
+	}
+	idx := make([]int, 0, len(seen))
+	for i := range seen {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// CommitBatch decides a batch of commit requests in request order, with
+// decisions identical to an equivalent sequence of serial Commit calls —
+// including intra-batch conflicts: a request whose check rows overlap the
+// write set of an earlier committed request in the same batch aborts, because
+// that earlier commit's timestamp necessarily exceeds the later request's
+// start timestamp.
+//
+// The batch amortizes the whole commit path: each covered shard lock is
+// taken once, all commit timestamps come from one contiguous tso.NextBlock
+// allocation (publishing every commit-table entry atomically with the block,
+// upholding the §2 snapshot-visibility invariant batch-wide), and all commit
+// records are persisted through a single WAL group append. An error reports
+// an infrastructure failure (timestamp oracle or WAL) for the whole batch,
+// not a conflict.
+func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error) {
+	if err, ok := s.failed.Load().(error); ok {
+		return nil, err
+	}
+	results := make([]CommitResult, len(reqs))
+	// Stack-backed index buffers keep small batches — in particular the
+	// serial Commit wrapper's batch of one — off the heap.
+	var writeIdxBuf, committedBuf [16]int
+	writeIdx := writeIdxBuf[:0]
+	if len(reqs) > len(writeIdxBuf) {
+		writeIdx = make([]int, 0, len(reqs))
+	}
+	var readOnly int64
+	for i := range reqs {
+		// Read-only fast path (§5.1), unchanged by batching: no check,
+		// no timestamp, no log write.
+		if reqs[i].ReadOnly() {
+			readOnly++
+			results[i] = CommitResult{Committed: true, CommitTS: reqs[i].StartTS}
+			continue
+		}
+		writeIdx = append(writeIdx, i)
+	}
+	if len(writeIdx) == 0 {
+		if readOnly > 0 {
+			s.stats.applyBatch(readOnly, 0, 0, 0, 0)
+		}
+		return results, nil
+	}
+
+	locks := s.batchLockSet(reqs, writeIdx)
+	for _, i := range locks {
+		s.shards[i].mu.Lock()
+	}
+
+	// Pass 1: sequential conflict checks (Algorithm 3 lines 1–11) with
+	// tentative lastCommit updates under placeholder timestamps, so later
+	// requests in the batch observe earlier intra-batch commits — and the
+	// evictions they cause — exactly as a serial execution would.
+	var aborts []batchAbort
+	committed := committedBuf[:0]
+	if len(writeIdx) > len(committedBuf) {
+		committed = make([]int, 0, len(writeIdx))
+	}
+	for _, i := range writeIdx {
+		req := &reqs[i]
+		checkRows := req.WriteSet // SI: write-write conflicts
+		if s.cfg.Engine == WSI {
+			checkRows = req.ReadSet // WSI: read-write conflicts
+		}
+		conflict, tmaxAbort := false, false
+		for _, r := range checkRows {
+			sh := s.shards[s.shardOf(r)]
+			if tc, ok := sh.lastCommit[r]; ok {
+				if tc > req.StartTS {
+					conflict = true
+					break
+				}
+			} else if sh.tmax > req.StartTS {
+				conflict = true
+				tmaxAbort = true
+				break
+			}
+		}
+		if conflict {
+			aborts = append(aborts, batchAbort{idx: i, tmax: tmaxAbort})
+			continue
+		}
+		ph := batchPlaceholderBase + uint64(len(committed))
+		for _, r := range req.WriteSet {
+			s.shards[s.shardOf(r)].update(r, ph)
+		}
+		committed = append(committed, i)
+	}
+
+	// Pass 2: one contiguous timestamp block for the whole batch. The
+	// commit-table entries are published inside the timestamp oracle's
+	// critical section, so no transaction can obtain a start timestamp
+	// above any of the batch's commit timestamps before the corresponding
+	// entry is queryable (the batched analogue of serial Commit's NextWith).
+	var lo uint64
+	if len(committed) > 0 {
+		var err error
+		lo, err = s.tso.NextBlock(len(committed), func(blo, _ uint64) {
+			for k, i := range committed {
+				s.table.addCommit(reqs[i].StartTS, blo+uint64(k))
+			}
+		})
+		if err != nil {
+			// The batch's placeholder updates cannot be rolled back
+			// exactly (their evictions already discarded real rows),
+			// so the shard state is poisoned toward aborting. A
+			// timestamp-oracle failure is permanent by design; latch
+			// it so every later commit fails fast instead of being
+			// silently aborted by leftover placeholders.
+			s.failed.Store(err)
+			for j := len(locks) - 1; j >= 0; j-- {
+				s.shards[locks[j]].mu.Unlock()
+			}
+			return nil, err
+		}
+		// Replace placeholders with the real timestamps. Rows overwritten
+		// later in the batch or already evicted no longer hold their
+		// placeholder and are skipped.
+		for k, i := range committed {
+			ph := batchPlaceholderBase + uint64(k)
+			ts := lo + uint64(k)
+			for _, r := range reqs[i].WriteSet {
+				sh := s.shards[s.shardOf(r)]
+				if cur, ok := sh.lastCommit[r]; ok && cur == ph {
+					sh.lastCommit[r] = ts
+				}
+			}
+		}
+		for _, li := range locks {
+			sh := s.shards[li]
+			for qi := range sh.queue {
+				if sh.queue[qi].ts >= batchPlaceholderBase {
+					sh.queue[qi].ts = lo + (sh.queue[qi].ts - batchPlaceholderBase)
+				}
+			}
+			if sh.tmax >= batchPlaceholderBase {
+				sh.tmax = lo + (sh.tmax - batchPlaceholderBase)
+			}
+		}
+	}
+	for j := len(locks) - 1; j >= 0; j-- {
+		s.shards[locks[j]].mu.Unlock()
+	}
+
+	// Abort bookkeeping. When the batch also commits, the abort records
+	// ride the same WAL group append below; a batch with only aborts keeps
+	// serial Commit's best-effort persistence (losing one in a crash is
+	// safe because recovery treats unknown transactions as uncommitted).
+	var tmaxAborts int64
+	for _, a := range aborts {
+		startTS := reqs[a.idx].StartTS
+		if a.tmax {
+			tmaxAborts++
+		}
+		if s.cfg.WAL != nil && len(committed) == 0 {
+			_, _ = s.cfg.WAL.AppendAsync(encodeAbortRecord(startTS))
+		}
+		s.table.addAbort(startTS)
+		s.bcast.publish(Event{StartTS: startTS})
+	}
+	if len(committed) == 0 {
+		s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
+		return results, nil
+	}
+
+	// Persist before acknowledging (Appendix A): the entire batch costs one
+	// group-commit latency.
+	if s.cfg.WAL != nil {
+		entries := make([][]byte, 0, 1+len(aborts))
+		entries = append(entries, s.encodeBatchWAL(reqs, committed, lo))
+		for _, a := range aborts {
+			entries = append(entries, encodeAbortRecord(reqs[a.idx].StartTS))
+		}
+		if err := s.cfg.WAL.AppendAll(entries...); err != nil {
+			s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
+			return nil, fmt.Errorf("oracle: persist commit batch: %w", err)
+		}
+	}
+	for k, i := range committed {
+		ts := lo + uint64(k)
+		results[i] = CommitResult{Committed: true, CommitTS: ts}
+		s.bcast.publish(Event{StartTS: reqs[i].StartTS, CommitTS: ts})
+	}
+	s.stats.applyBatch(readOnly, int64(len(committed)), int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
+	return results, nil
+}
+
+// encodeBatchWAL renders the committed subset of a batch as one WAL record.
+func (s *StatusOracle) encodeBatchWAL(reqs []CommitRequest, committed []int, lo uint64) []byte {
+	commits := make([]commitEntry, len(committed))
+	for k, i := range committed {
+		commits[k] = commitEntry{
+			StartTS:  reqs[i].StartTS,
+			CommitTS: lo + uint64(k),
+			WriteSet: reqs[i].WriteSet,
+		}
+	}
+	return encodeCommitBatchRecord(commits)
+}

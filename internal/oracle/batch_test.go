@@ -1,0 +1,405 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tso"
+	"repro/internal/wal"
+)
+
+// randomRequests builds a request stream over a small row universe so
+// conflicts (and, with bounded memory, evictions) are frequent. Start
+// timestamps are pre-allocated 1..n from a fresh TSO, so two oracles fed the
+// same stream are in identical timestamp states.
+func randomRequests(rng *rand.Rand, n, rows int) []CommitRequest {
+	reqs := make([]CommitRequest, n)
+	for i := range reqs {
+		reqs[i].StartTS = uint64(i + 1)
+		if rng.Intn(8) == 0 {
+			continue // read-only
+		}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			reqs[i].WriteSet = append(reqs[i].WriteSet, RowID(rng.Intn(rows)))
+		}
+		for j := 0; j < rng.Intn(5); j++ {
+			reqs[i].ReadSet = append(reqs[i].ReadSet, RowID(rng.Intn(rows)))
+		}
+	}
+	return reqs
+}
+
+// burnStarts consumes the start-timestamp range 1..n so commit timestamps
+// begin at n+1, as they would after n Begin calls.
+func burnStarts(t *testing.T, clock *tso.Oracle, n int) {
+	t.Helper()
+	if _, err := clock.NextBlock(n, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitBatchMatchesSerial asserts the batch path is bit-identical to a
+// serial Commit sequence over the same request order: same commit/abort
+// decisions, same commit timestamps, intra-batch conflicts honored, for both
+// engines, with and without bounded lastCommit memory (eviction + Tmax), and
+// across varying batch sizes.
+func TestCommitBatchMatchesSerial(t *testing.T) {
+	for _, engine := range []Engine{SI, WSI} {
+		for _, maxRows := range []int{0, 8} {
+			for _, shards := range []int{1, 4} {
+				name := fmt.Sprintf("%v/maxRows=%d/shards=%d", engine, maxRows, shards)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(maxRows)*31 + int64(shards)))
+					const n, rows = 600, 24
+					reqs := randomRequests(rng, n, rows)
+					cfg := Config{Engine: engine, MaxRows: maxRows, Shards: shards}
+
+					serialTSO := tso.New(0, nil)
+					cfg.TSO = serialTSO
+					serial, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					burnStarts(t, serialTSO, n)
+					want := make([]CommitResult, n)
+					for i, req := range reqs {
+						res, err := serial.Commit(req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want[i] = res
+					}
+
+					batchTSO := tso.New(0, nil)
+					cfg.TSO = batchTSO
+					batched, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					burnStarts(t, batchTSO, n)
+					got := make([]CommitResult, 0, n)
+					for lo := 0; lo < n; {
+						hi := lo + 1 + rng.Intn(64)
+						if hi > n {
+							hi = n
+						}
+						res, err := batched.CommitBatch(reqs[lo:hi])
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = append(got, res...)
+						lo = hi
+					}
+
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("request %d: batch %+v, serial %+v", i, got[i], want[i])
+						}
+					}
+					// The surviving oracle state must match too.
+					if bt, st := batched.Tmax(), serial.Tmax(); bt != st {
+						t.Fatalf("Tmax: batch %d, serial %d", bt, st)
+					}
+					if br, sr := batched.RetainedRows(), serial.RetainedRows(); br != sr {
+						t.Fatalf("retained rows: batch %d, serial %d", br, sr)
+					}
+					for r := 0; r < rows; r++ {
+						btc, bok := batched.LastCommitOf(RowID(r))
+						stc, sok := serial.LastCommitOf(RowID(r))
+						if btc != stc || bok != sok {
+							t.Fatalf("lastCommit[%d]: batch (%d,%v), serial (%d,%v)", r, btc, bok, stc, sok)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCommitBatchIntraBatchConflict pins the within-batch rule: an earlier
+// commit in the same batch conflicts with a later request exactly as if the
+// two had been submitted serially.
+func TestCommitBatchIntraBatchConflict(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := New(Config{Engine: WSI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := so.Begin()
+	t2, _ := so.Begin()
+	t3, _ := so.Begin()
+	res, err := so.CommitBatch([]CommitRequest{
+		{StartTS: t1, WriteSet: []RowID{1}},                      // commits
+		{StartTS: t2, WriteSet: []RowID{2}, ReadSet: []RowID{1}}, // reads 1 → intra-batch WSI conflict
+		{StartTS: t3, WriteSet: []RowID{3}, ReadSet: []RowID{2}}, // reads 2; txn 2 aborted, so no conflict
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Committed {
+		t.Fatal("first batch entry should commit")
+	}
+	if res[1].Committed {
+		t.Fatal("second batch entry read the first's write row and must abort")
+	}
+	if !res[2].Committed {
+		t.Fatal("third batch entry conflicts only with an aborted entry and must commit")
+	}
+	if res[2].CommitTS != res[0].CommitTS+1 {
+		t.Fatalf("commit timestamps not contiguous: %d then %d", res[0].CommitTS, res[2].CommitTS)
+	}
+}
+
+// TestCommitBatchReadOnlyFastPath checks read-only members of a batch commit
+// at their snapshot without consuming timestamps.
+func TestCommitBatchReadOnlyFastPath(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := New(Config{Engine: WSI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := so.Begin()
+	t2, _ := so.Begin()
+	res, err := so.CommitBatch([]CommitRequest{
+		{StartTS: t1, ReadSet: []RowID{1}}, // read-only: empty write set
+		{StartTS: t2, WriteSet: []RowID{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Committed || res[0].CommitTS != t1 {
+		t.Fatalf("read-only result = %+v, want committed at %d", res[0], t1)
+	}
+	if !res[1].Committed || res[1].CommitTS != t2+1 {
+		t.Fatalf("write result = %+v, want committed at %d", res[1], t2+1)
+	}
+}
+
+// TestCommitBatchEmptyAndAllReadOnly covers the no-write-request paths.
+func TestCommitBatchEmptyAndAllReadOnly(t *testing.T) {
+	so, err := New(Config{Engine: WSI, TSO: tso.New(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := so.CommitBatch(nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	res, err := so.CommitBatch([]CommitRequest{{StartTS: 5}, {StartTS: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Committed {
+			t.Fatalf("read-only entry %d not committed", i)
+		}
+	}
+	if s := so.Stats(); s.Batches != 0 {
+		t.Fatalf("read-only-only batch counted: Batches = %d, want 0", s.Batches)
+	}
+}
+
+// TestCommitBatchStress runs concurrent batches under the race detector and
+// asserts global invariants: every committed timestamp unique, commit
+// timestamps from one batch contiguous within the batch, no errors.
+func TestCommitBatchStress(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := New(Config{Engine: WSI, MaxRows: 64, Shards: 4, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, batches, size = 8, 40, 16
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for b := 0; b < batches; b++ {
+				reqs := make([]CommitRequest, size)
+				for i := range reqs {
+					ts, err := so.Begin()
+					if err != nil {
+						t.Errorf("begin: %v", err)
+						return
+					}
+					reqs[i].StartTS = ts
+					for j := 0; j < 1+rng.Intn(3); j++ {
+						reqs[i].WriteSet = append(reqs[i].WriteSet, RowID(rng.Intn(256)))
+					}
+					reqs[i].ReadSet = append(reqs[i].ReadSet, RowID(rng.Intn(256)))
+				}
+				res, err := so.CommitBatch(reqs)
+				if err != nil {
+					t.Errorf("commit batch: %v", err)
+					return
+				}
+				var prev uint64
+				mu.Lock()
+				for i := range res {
+					if !res[i].Committed {
+						continue
+					}
+					if seen[res[i].CommitTS] {
+						t.Errorf("commit timestamp %d assigned twice", res[i].CommitTS)
+					}
+					seen[res[i].CommitTS] = true
+					if prev != 0 && res[i].CommitTS != prev+1 {
+						t.Errorf("batch commit timestamps not contiguous: %d after %d", res[i].CommitTS, prev)
+					}
+					prev = res[i].CommitTS
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := so.Stats()
+	if st.Commits+st.ConflictAborts != goroutines*batches*size {
+		t.Fatalf("per-transaction accounting: commits %d + aborts %d != %d",
+			st.Commits, st.ConflictAborts, goroutines*batches*size)
+	}
+	if st.Batches != goroutines*batches {
+		t.Fatalf("Batches = %d, want %d", st.Batches, goroutines*batches)
+	}
+	if st.BatchSizeAvg != size {
+		t.Fatalf("BatchSizeAvg = %v, want %d", st.BatchSizeAvg, size)
+	}
+}
+
+// TestCommitBatchWALRecovery replays batch-encoded WAL records into a fresh
+// oracle and checks the recovered state answers exactly like the original.
+func TestCommitBatchWALRecovery(t *testing.T) {
+	ledger := wal.NewMemLedger()
+	w, err := wal.NewWriter(wal.DefaultConfig(), ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := tso.New(0, w)
+	so, err := New(Config{Engine: WSI, MaxRows: 16, WAL: w, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var reqs []CommitRequest
+	for i := 0; i < 48; i++ {
+		ts, err := so.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := CommitRequest{StartTS: ts}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			req.WriteSet = append(req.WriteSet, RowID(rng.Intn(32)))
+		}
+		req.ReadSet = append(req.ReadSet, RowID(rng.Intn(32)))
+		reqs = append(reqs, req)
+	}
+	var all []CommitResult
+	for lo := 0; lo < len(reqs); lo += 12 {
+		res, err := so.CommitBatch(reqs[lo : lo+12])
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, res...)
+	}
+	w.Flush()
+
+	recovered, err := Recover(Config{Engine: WSI, MaxRows: 16, TSO: tso.New(0, nil)}, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		want := TxnStatus{Status: StatusAborted}
+		if all[i].Committed {
+			want = TxnStatus{Status: StatusCommitted, CommitTS: all[i].CommitTS}
+		}
+		got := recovered.Query(req.StartTS)
+		if got != want {
+			t.Fatalf("txn %d (start %d): recovered %+v, want %+v", i, req.StartTS, got, want)
+		}
+	}
+	if rt, ot := recovered.Tmax(), so.Tmax(); rt != ot {
+		t.Fatalf("recovered Tmax %d, original %d", rt, ot)
+	}
+	for r := 0; r < 32; r++ {
+		rtc, rok := recovered.LastCommitOf(RowID(r))
+		otc, ook := so.LastCommitOf(RowID(r))
+		if rtc != otc || rok != ook {
+			t.Fatalf("lastCommit[%d]: recovered (%d,%v), original (%d,%v)", r, rtc, rok, otc, ook)
+		}
+	}
+}
+
+// TestCommitBatchRecordRoundTrip exercises the batch record codec directly,
+// including rejection of corrupt input.
+func TestCommitBatchRecordRoundTrip(t *testing.T) {
+	commits := []commitEntry{
+		{StartTS: 3, CommitTS: 10, WriteSet: []RowID{1, 2, 3}},
+		{StartTS: 5, CommitTS: 11, WriteSet: nil},
+		{StartTS: 7, CommitTS: 12, WriteSet: []RowID{9}},
+	}
+	enc := encodeCommitBatchRecord(commits)
+	dec, err := decodeCommitBatchRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(commits) {
+		t.Fatalf("decoded %d commits, want %d", len(dec), len(commits))
+	}
+	for i := range commits {
+		if dec[i].StartTS != commits[i].StartTS || dec[i].CommitTS != commits[i].CommitTS ||
+			len(dec[i].WriteSet) != len(commits[i].WriteSet) {
+			t.Fatalf("entry %d: %+v != %+v", i, dec[i], commits[i])
+		}
+	}
+	if _, err := decodeCommitBatchRecord(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated record decoded without error")
+	}
+	if _, err := decodeCommitBatchRecord(append(enc, 0)); err == nil {
+		t.Fatal("padded record decoded without error")
+	}
+	if _, err := decodeCommitBatchRecord([]byte{recAbort, 0}); err == nil {
+		t.Fatal("foreign record decoded without error")
+	}
+}
+
+// failingLedger rejects every append, driving the timestamp oracle into its
+// permanent failed state.
+type failingLedger struct{}
+
+func (failingLedger) AppendBatch([]byte) (int, error) { return 0, fmt.Errorf("ledger down") }
+func (failingLedger) NumBatches() (int, error)        { return 0, nil }
+func (failingLedger) ReadBatch(int) ([]byte, error)   { return nil, fmt.Errorf("ledger down") }
+
+// TestCommitBatchLatchesTSOFailure checks that a mid-batch timestamp-oracle
+// failure poisons the status oracle explicitly: the failing batch errors,
+// and every later commit fails fast with the same error instead of being
+// silently aborted by leftover placeholder state.
+func TestCommitBatchLatchesTSOFailure(t *testing.T) {
+	w, err := wal.NewWriter(wal.Config{BatchBytes: 1, BatchDelay: time.Microsecond}, failingLedger{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	clock := tso.New(4, w) // tiny reservation: the batch forces an extension
+	so, err := New(Config{Engine: WSI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]CommitRequest, 8)
+	for i := range reqs {
+		reqs[i] = CommitRequest{StartTS: uint64(i + 1), WriteSet: []RowID{RowID(i)}}
+	}
+	if _, err := so.CommitBatch(reqs); err == nil {
+		t.Fatal("commit batch succeeded with a dead timestamp ledger")
+	}
+	// The oracle is latched: later commits fail fast with an error, not a
+	// silent conflict abort.
+	if _, err := so.Commit(CommitRequest{StartTS: 100, WriteSet: []RowID{99}}); err == nil {
+		t.Fatal("commit after TSO failure returned a decision instead of an error")
+	}
+}

@@ -1,0 +1,165 @@
+package oracle
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBatcherStopped reports a request submitted to a stopped Batcher.
+var ErrBatcherStopped = errors.New("oracle: batcher stopped")
+
+// batcherItem is one commit request parked in a Batcher.
+type batcherItem struct {
+	req  CommitRequest
+	done func(CommitResult, error)
+}
+
+// Batcher is the shared accumulation loop behind every commit-coalescing
+// layer (the netsrv server-side coalescer and the txn client-side commit
+// pipeliner): requests submitted by any number of goroutines are funneled
+// through a channel into one loop that cuts batches on a max-size or
+// max-delay trigger and hands them to the decide function (typically a
+// CommitBatch). Batches are decided on their own goroutines, so a batch
+// waiting on the WAL group commit never stalls accumulation of the next.
+type Batcher struct {
+	decide   func([]CommitRequest) ([]CommitResult, error)
+	maxBatch int
+	maxDelay time.Duration
+	items    chan batcherItem
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewBatcher starts a batcher cutting batches of up to maxBatch after at
+// most maxDelay.
+func NewBatcher(decide func([]CommitRequest) ([]CommitResult, error), maxBatch int, maxDelay time.Duration) *Batcher {
+	b := &Batcher{
+		decide:   decide,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		items:    make(chan batcherItem, 4*maxBatch),
+		quit:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Submit parks one request; done is invoked exactly once, from a batcher
+// goroutine (or inline after Stop), when the decision is in.
+func (b *Batcher) Submit(req CommitRequest, done func(CommitResult, error)) {
+	// The closed flag is checked under a read lock so no send can race
+	// past Stop: Stop flips the flag under the write lock before closing
+	// quit, and the loop drains the channel on quit, so every request
+	// that enters the channel gets its callback.
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		done(CommitResult{}, ErrBatcherStopped)
+		return
+	}
+	b.items <- batcherItem{req: req, done: done}
+	b.mu.RUnlock()
+}
+
+func (b *Batcher) loop() {
+	defer b.wg.Done()
+	var batch []batcherItem
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timeout = nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		items := batch
+		batch = nil
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.run(items)
+		}()
+	}
+	for {
+		select {
+		case item := <-b.items:
+			batch = append(batch, item)
+			// Drain whatever else is already queued, up to the batch
+			// cap, before arming the delay timer: under load this
+			// cuts full batches with no timer latency at all.
+			for len(batch) < b.maxBatch {
+				select {
+				case item := <-b.items:
+					batch = append(batch, item)
+				default:
+					goto accumulated
+				}
+			}
+		accumulated:
+			if len(batch) >= b.maxBatch {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(b.maxDelay)
+				timeout = timer.C
+			}
+		case <-timeout:
+			timer = nil
+			timeout = nil
+			flush()
+		case <-b.quit:
+			// Fail parked items, then drain the channel: Submit stops
+			// sending before quit closes, so this leaves nothing
+			// behind.
+			for _, it := range batch {
+				it.done(CommitResult{}, ErrBatcherStopped)
+			}
+			for {
+				select {
+				case it := <-b.items:
+					it.done(CommitResult{}, ErrBatcherStopped)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run decides one batch and fans the results out.
+func (b *Batcher) run(items []batcherItem) {
+	reqs := make([]CommitRequest, len(items))
+	for i := range items {
+		reqs[i] = items[i].req
+	}
+	results, err := b.decide(reqs)
+	for i := range items {
+		if err != nil {
+			items[i].done(CommitResult{}, err)
+		} else {
+			items[i].done(results[i], nil)
+		}
+	}
+}
+
+// Stop shuts the loop down. In-flight submissions complete (their requests
+// are drained and failed with ErrBatcherStopped if undecided); submissions
+// after Stop fail immediately.
+func (b *Batcher) Stop() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.wg.Wait()
+}

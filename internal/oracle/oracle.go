@@ -26,8 +26,8 @@ package oracle
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tso"
 	"repro/internal/wal"
@@ -131,6 +131,9 @@ type StatusOracle struct {
 	table  *commitTable
 	bcast  *broadcaster
 	stats  statsCollector
+	// failed latches the first mid-batch infrastructure failure (see
+	// CommitBatch); once set, every further commit fails fast.
+	failed atomic.Value // error
 }
 
 // New creates a status oracle.
@@ -179,108 +182,17 @@ func (s *StatusOracle) shardOf(r RowID) int {
 	return int(uint64(r) % uint64(len(s.shards)))
 }
 
-// lockSet computes the ordered set of shard indexes covering rows, so locks
-// are always acquired in ascending order (deadlock freedom).
-func (s *StatusOracle) lockSet(a, b []RowID) []int {
-	if len(s.shards) == 1 {
-		return []int{0}
-	}
-	seen := make(map[int]struct{}, len(a)+len(b))
-	for _, r := range a {
-		seen[s.shardOf(r)] = struct{}{}
-	}
-	for _, r := range b {
-		seen[s.shardOf(r)] = struct{}{}
-	}
-	idx := make([]int, 0, len(seen))
-	for i := range seen {
-		idx = append(idx, i)
-	}
-	sort.Ints(idx)
-	return idx
-}
-
-// Commit processes a commit request (Algorithms 1–3). It returns the
-// decision; an error indicates an infrastructure failure (timestamp oracle
-// or WAL), not a conflict.
+// Commit processes a commit request (Algorithms 1–3) as a batch of one. It
+// returns the decision; an error indicates an infrastructure failure
+// (timestamp oracle or WAL), not a conflict. High-throughput callers should
+// prefer CommitBatch, which amortizes lock acquisition, timestamp allocation
+// and WAL appends across many requests.
 func (s *StatusOracle) Commit(req CommitRequest) (CommitResult, error) {
-	// Read-only fast path (§5.1): no check, no timestamp, no log write.
-	if req.ReadOnly() {
-		s.stats.readOnlyCommit()
-		return CommitResult{Committed: true, CommitTS: req.StartTS}, nil
-	}
-
-	checkRows := req.WriteSet // SI: write-write conflicts
-	if s.cfg.Engine == WSI {
-		checkRows = req.ReadSet // WSI: read-write conflicts
-	}
-
-	locks := s.lockSet(checkRows, req.WriteSet)
-	for _, i := range locks {
-		s.shards[i].mu.Lock()
-	}
-
-	// Conflict check (Algorithm 3 lines 1–11).
-	conflict := false
-	tmaxAbort := false
-	for _, r := range checkRows {
-		sh := s.shards[s.shardOf(r)]
-		if tc, ok := sh.lastCommit[r]; ok {
-			if tc > req.StartTS {
-				conflict = true
-				break
-			}
-		} else if sh.tmax > req.StartTS {
-			conflict = true
-			tmaxAbort = true
-			break
-		}
-	}
-	if conflict {
-		for j := len(locks) - 1; j >= 0; j-- {
-			s.shards[locks[j]].mu.Unlock()
-		}
-		s.stats.conflictAbort(tmaxAbort)
-		s.recordAbort(req.StartTS)
-		return CommitResult{}, nil
-	}
-
-	// Commit: assign the commit timestamp and update lastCommit
-	// (Algorithm 3 lines 12–15). The commit-table entry is published by
-	// NextWith *atomically with the timestamp assignment*: no transaction
-	// can obtain a start timestamp above commitTS before the entry is
-	// queryable, which upholds the snapshot rule of §2 — a reader with
-	// Ts > Tc always observes the commit. (The paper integrates the
-	// timestamp oracle into the status oracle's critical section for
-	// exactly this reason, Appendix A.) Like the paper's status oracle,
-	// memory state is updated first and the client acknowledged only
-	// after the WAL accepts the record.
-	commitTS, err := s.tso.NextWith(func(ts uint64) {
-		s.table.addCommit(req.StartTS, ts)
-	})
+	res, err := s.CommitBatch([]CommitRequest{req})
 	if err != nil {
-		for j := len(locks) - 1; j >= 0; j-- {
-			s.shards[locks[j]].mu.Unlock()
-		}
 		return CommitResult{}, err
 	}
-	for _, r := range req.WriteSet {
-		s.shards[s.shardOf(r)].update(r, commitTS)
-	}
-	for j := len(locks) - 1; j >= 0; j-- {
-		s.shards[locks[j]].mu.Unlock()
-	}
-
-	// Persist before acknowledging (Appendix A): the WAL writer batches,
-	// so this costs one group-commit latency, not one I/O per commit.
-	if s.cfg.WAL != nil {
-		if err := s.cfg.WAL.Append(encodeCommitRecord(req.StartTS, commitTS, req.WriteSet)); err != nil {
-			return CommitResult{}, fmt.Errorf("oracle: persist commit: %w", err)
-		}
-	}
-	s.stats.commit()
-	s.bcast.publish(Event{StartTS: req.StartTS, CommitTS: commitTS})
-	return CommitResult{Committed: true, CommitTS: commitTS}, nil
+	return res[0], nil
 }
 
 // Abort records an explicit client abort so that readers skip the
@@ -295,20 +207,6 @@ func (s *StatusOracle) Abort(startTS uint64) error {
 	s.stats.explicitAbort()
 	s.bcast.publish(Event{StartTS: startTS})
 	return nil
-}
-
-// recordAbort registers a conflict abort in the commit table and notifies
-// subscribers. Conflict aborts are also persisted when a WAL is configured;
-// losing one in a crash is safe because recovery treats unknown
-// transactions as uncommitted.
-func (s *StatusOracle) recordAbort(startTS uint64) {
-	if s.cfg.WAL != nil {
-		// Best-effort: a failed abort record only costs an extra
-		// query after recovery.
-		_, _ = s.cfg.WAL.AppendAsync(encodeAbortRecord(startTS))
-	}
-	s.table.addAbort(startTS)
-	s.bcast.publish(Event{StartTS: startTS})
 }
 
 // Query reports the status of the transaction with the given start

@@ -11,9 +11,78 @@ import (
 // change into the memory of the status oracle that is related to a
 // transaction commit/abort is persisted in multiple remote storages".
 const (
-	recCommit = 0x43 // 'C': startTS, commitTS, write set
-	recAbort  = 0x41 // 'A': startTS
+	recCommit      = 0x43 // 'C': startTS, commitTS, write set
+	recAbort       = 0x41 // 'A': startTS
+	recCommitBatch = 0x42 // 'B': count, then per commit: startTS, commitTS, write set
 )
+
+// commitEntry is one committed transaction inside a batch record.
+type commitEntry struct {
+	StartTS  uint64
+	CommitTS uint64
+	WriteSet []RowID
+}
+
+// encodeCommitBatchRecord renders the committed subset of a CommitBatch as
+// one WAL entry, so an entire batch costs a single group-commit append.
+// Layout:
+//
+//	[1] kind | [4] count | count × ( [8] startTS | [8] commitTS | [4] n | n×[8] row ids )
+func encodeCommitBatchRecord(commits []commitEntry) []byte {
+	size := 1 + 4
+	for i := range commits {
+		size += 8 + 8 + 4 + 8*len(commits[i].WriteSet)
+	}
+	b := make([]byte, size)
+	b[0] = recCommitBatch
+	binary.BigEndian.PutUint32(b[1:5], uint32(len(commits)))
+	off := 5
+	for i := range commits {
+		c := &commits[i]
+		binary.BigEndian.PutUint64(b[off:], c.StartTS)
+		binary.BigEndian.PutUint64(b[off+8:], c.CommitTS)
+		binary.BigEndian.PutUint32(b[off+16:], uint32(len(c.WriteSet)))
+		off += 20
+		for _, r := range c.WriteSet {
+			binary.BigEndian.PutUint64(b[off:], uint64(r))
+			off += 8
+		}
+	}
+	return b
+}
+
+func decodeCommitBatchRecord(b []byte) ([]commitEntry, error) {
+	if len(b) < 5 || b[0] != recCommitBatch {
+		return nil, fmt.Errorf("oracle: not a commit-batch record")
+	}
+	count := binary.BigEndian.Uint32(b[1:5])
+	rest := b[5:]
+	commits := make([]commitEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 20 {
+			return nil, fmt.Errorf("oracle: commit-batch record truncated")
+		}
+		c := commitEntry{
+			StartTS:  binary.BigEndian.Uint64(rest[:8]),
+			CommitTS: binary.BigEndian.Uint64(rest[8:16]),
+		}
+		n := binary.BigEndian.Uint32(rest[16:20])
+		rest = rest[20:]
+		if uint64(len(rest)) < uint64(n)*8 {
+			return nil, fmt.Errorf("oracle: commit-batch record truncated")
+		}
+		c.WriteSet = make([]RowID, n)
+		for j := range c.WriteSet {
+			c.WriteSet[j] = RowID(binary.BigEndian.Uint64(rest[j*8:]))
+		}
+		rest = rest[n*8:]
+		commits = append(commits, c)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("oracle: commit-batch record length mismatch")
+	}
+	return commits, nil
+}
 
 // encodeCommitRecord renders a commit decision. Layout:
 //
@@ -94,13 +163,15 @@ func Recover(cfg Config, ledger wal.Ledger) (*StatusOracle, error) {
 			if err != nil {
 				return err
 			}
-			for _, r := range writeSet {
-				sh := s.shards[s.shardOf(r)]
-				sh.mu.Lock()
-				sh.update(r, commitTS)
-				sh.mu.Unlock()
+			s.replayCommit(startTS, commitTS, writeSet)
+		case recCommitBatch:
+			commits, err := decodeCommitBatchRecord(entry)
+			if err != nil {
+				return err
 			}
-			s.table.addCommit(startTS, commitTS)
+			for i := range commits {
+				s.replayCommit(commits[i].StartTS, commits[i].CommitTS, commits[i].WriteSet)
+			}
 		case recAbort:
 			startTS, err := decodeAbortRecord(entry)
 			if err != nil {
@@ -117,4 +188,16 @@ func Recover(cfg Config, ledger wal.Ledger) (*StatusOracle, error) {
 		return nil, fmt.Errorf("oracle: recovery replay: %w", err)
 	}
 	return s, nil
+}
+
+// replayCommit reapplies one recovered commit to lastCommit and the commit
+// table.
+func (s *StatusOracle) replayCommit(startTS, commitTS uint64, writeSet []RowID) {
+	for _, r := range writeSet {
+		sh := s.shards[s.shardOf(r)]
+		sh.mu.Lock()
+		sh.update(r, commitTS)
+		sh.mu.Unlock()
+	}
+	s.table.addCommit(startTS, commitTS)
 }

@@ -7,6 +7,13 @@ import "sync"
 // because a conflict was observed but because their snapshot predates the
 // retained lastCommit window; the paper argues these are negligible when
 // Tmax - Ts(txn) is much larger than the maximum commit time.
+// Commits and the abort counters are per transaction regardless of how
+// transactions reach the oracle: a CommitBatch of 64 requests moves the
+// per-transaction counters 64 times. Batches counts CommitBatch invocations
+// that carried at least one write transaction (serial Commit is a batch of
+// one), and BatchSizeAvg is the mean number of write transactions per such
+// batch — together they describe the batch-size distribution the coalescing
+// layers achieve.
 type Stats struct {
 	Begins          int64
 	Commits         int64
@@ -14,6 +21,8 @@ type Stats struct {
 	ConflictAborts  int64
 	TmaxAborts      int64
 	ExplicitAborts  int64
+	Batches         int64
+	BatchSizeAvg    float64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in
@@ -29,34 +38,14 @@ func (s Stats) AbortRate() float64 {
 }
 
 type statsCollector struct {
-	mu sync.Mutex
-	s  Stats
+	mu        sync.Mutex
+	s         Stats
+	batchTxns int64 // write transactions across all batches
 }
 
 func (c *statsCollector) begin() {
 	c.mu.Lock()
 	c.s.Begins++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) commit() {
-	c.mu.Lock()
-	c.s.Commits++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) readOnlyCommit() {
-	c.mu.Lock()
-	c.s.ReadOnlyCommits++
-	c.mu.Unlock()
-}
-
-func (c *statsCollector) conflictAbort(tmax bool) {
-	c.mu.Lock()
-	c.s.ConflictAborts++
-	if tmax {
-		c.s.TmaxAborts++
-	}
 	c.mu.Unlock()
 }
 
@@ -66,8 +55,29 @@ func (c *statsCollector) explicitAbort() {
 	c.mu.Unlock()
 }
 
+// applyBatch records one CommitBatch invocation's whole outcome — per-
+// transaction counters plus the batch-size distribution — under a single
+// lock acquisition, so a batch of 64 costs one mutex pass, not 65.
+// writeTxns == 0 (an all-read-only batch) does not count as a batch.
+func (c *statsCollector) applyBatch(readOnly, commits, conflictAborts, tmaxAborts, writeTxns int64) {
+	c.mu.Lock()
+	c.s.ReadOnlyCommits += readOnly
+	c.s.Commits += commits
+	c.s.ConflictAborts += conflictAborts
+	c.s.TmaxAborts += tmaxAborts
+	if writeTxns > 0 {
+		c.s.Batches++
+		c.batchTxns += writeTxns
+	}
+	c.mu.Unlock()
+}
+
 func (c *statsCollector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s
+	s := c.s
+	if s.Batches > 0 {
+		s.BatchSizeAvg = float64(c.batchTxns) / float64(s.Batches)
+	}
+	return s
 }

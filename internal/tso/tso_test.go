@@ -231,3 +231,96 @@ var errFail = &failError{}
 type failError struct{}
 
 func (*failError) Error() string { return "injected bookie failure" }
+
+func TestNextBlockContiguous(t *testing.T) {
+	o := New(16, nil)
+	first, err := o.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotLo, gotHi uint64
+	lo, err := o.NextBlock(64, func(l, h uint64) { gotLo, gotHi = l, h })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != first+1 {
+		t.Fatalf("block lo = %d, want %d", lo, first+1)
+	}
+	if gotLo != lo || gotHi != lo+63 {
+		t.Fatalf("publish(%d, %d), want (%d, %d)", gotLo, gotHi, lo, lo+63)
+	}
+	next, err := o.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != lo+64 {
+		t.Fatalf("timestamp after 64-block = %d, want %d", next, lo+64)
+	}
+}
+
+func TestNextBlockLargerThanReservation(t *testing.T) {
+	ledger := wal.NewMemLedger()
+	w, err := wal.NewWriter(wal.DefaultConfig(), ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	o := New(8, w) // blocks of 8; request far more than one reservation
+	lo, err := o.NextBlock(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1 {
+		t.Fatalf("lo = %d, want 1", lo)
+	}
+	ts, err := o.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 1001 {
+		t.Fatalf("next after block = %d, want 1001", ts)
+	}
+}
+
+func TestNextBlockRejectsNonPositive(t *testing.T) {
+	o := New(0, nil)
+	if _, err := o.NextBlock(0, nil); err == nil {
+		t.Fatal("NextBlock(0) succeeded, want error")
+	}
+	if _, err := o.NextBlock(-3, nil); err == nil {
+		t.Fatal("NextBlock(-3) succeeded, want error")
+	}
+}
+
+func TestNextBlockConcurrentDisjoint(t *testing.T) {
+	o := New(32, nil)
+	const goroutines, per, n = 8, 200, 5
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lo, err := o.NextBlock(n, nil)
+				if err != nil {
+					t.Errorf("NextBlock: %v", err)
+					return
+				}
+				mu.Lock()
+				for ts := lo; ts < lo+n; ts++ {
+					if seen[ts] {
+						t.Errorf("timestamp %d issued twice", ts)
+					}
+					seen[ts] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per*n {
+		t.Fatalf("issued %d distinct timestamps, want %d", len(seen), goroutines*per*n)
+	}
+}

@@ -18,6 +18,8 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/oracle"
@@ -108,6 +110,13 @@ type Config struct {
 	// but deferral saves data-server traffic for transactions that abort
 	// before committing, at the cost of a commit-time write burst.
 	DeferWrites bool
+	// CommitBatchSize caps the number of CommitAsync submissions the
+	// commit pipeliner coalesces into one arbiter batch (default
+	// DefaultCommitBatchSize). Synchronous Commit is unaffected.
+	CommitBatchSize int
+	// CommitBatchDelay is how long the pipeliner waits for a batch to
+	// fill before cutting it (default DefaultCommitBatchDelay).
+	CommitBatchDelay time.Duration
 }
 
 // Client runs transactions. Create one per process; it is safe for
@@ -118,6 +127,10 @@ type Client struct {
 	cfg     Config
 	replica *replicaCache // nil unless ModeReplica
 	active  activeSet     // live transactions, for GC watermarking
+
+	pipeMu     sync.Mutex
+	pipe       *commitPipeliner // started lazily by the first CommitAsync
+	pipeClosed bool
 }
 
 // NewClient creates a transaction client.
@@ -133,11 +146,42 @@ func NewClient(store *kvstore.Store, so Arbiter, cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Close releases the client's subscription, if any.
+// Close releases the client's subscription and commit pipeliner, if any.
+// Outstanding CommitAsync futures complete with ErrClientClosed.
 func (c *Client) Close() {
+	c.pipeMu.Lock()
+	pipe := c.pipe
+	c.pipe = nil
+	c.pipeClosed = true
+	c.pipeMu.Unlock()
+	if pipe != nil {
+		pipe.stop()
+	}
 	if c.replica != nil {
 		c.replica.close()
 	}
+}
+
+// pipeliner returns the client's commit pipeliner, starting it on first use;
+// nil after Close.
+func (c *Client) pipeliner() *commitPipeliner {
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.pipeClosed {
+		return nil
+	}
+	if c.pipe == nil {
+		size := c.cfg.CommitBatchSize
+		if size <= 0 {
+			size = DefaultCommitBatchSize
+		}
+		delay := c.cfg.CommitBatchDelay
+		if delay <= 0 {
+			delay = DefaultCommitBatchDelay
+		}
+		c.pipe = newCommitPipeliner(c.so, size, delay)
+	}
+	return c.pipe
 }
 
 // Begin starts a transaction.

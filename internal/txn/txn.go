@@ -244,18 +244,49 @@ func (t *Txn) Commit() error {
 		t.commitTS = t.startTS
 		return nil
 	}
-	defer t.client.active.remove(t.startTS)
+	res, err := t.client.so.Commit(t.prepareCommit())
+	return t.finishCommit(res, err).Err
+}
 
-	// Read-only fast path (§5.1): submit empty sets; the oracle commits
-	// without any conflict check and read-only transactions never abort.
-	if len(t.writes) == 0 {
-		res, err := t.client.so.Commit(oracle.CommitRequest{StartTS: t.startTS})
-		if err != nil {
-			return err
-		}
+// CommitAsync submits the transaction through the client's commit pipeliner
+// and returns a future for the decision, letting one goroutine keep many
+// commits in flight while the pipeliner coalesces them into oracle batches.
+// The returned channel delivers exactly one CommitOutcome (Err is nil on
+// commit, ErrConflict on abort). The transaction must not be used again
+// until the outcome has been received; receiving it establishes the
+// happens-before edge for CommitTS and Committed.
+func (t *Txn) CommitAsync() <-chan CommitOutcome {
+	ch := make(chan CommitOutcome, 1)
+	if t.done {
+		ch <- CommitOutcome{Err: ErrClosed}
+		return ch
+	}
+	t.done = true
+	if t.readOnly {
 		t.committed = true
-		t.commitTS = res.CommitTS
-		return nil
+		t.commitTS = t.startTS
+		ch <- CommitOutcome{Committed: true, CommitTS: t.startTS}
+		return ch
+	}
+	pipe := t.client.pipeliner()
+	if pipe == nil {
+		t.client.active.remove(t.startTS)
+		ch <- CommitOutcome{Err: ErrClientClosed}
+		return ch
+	}
+	req := t.prepareCommit()
+	pipe.submit(req, func(res oracle.CommitResult, err error) {
+		ch <- t.finishCommit(res, err)
+	})
+	return ch
+}
+
+// prepareCommit flushes deferred writes and renders the oracle request: the
+// hashed write set (plus write buckets under a Bucketer) and, for WSI, the
+// hashed read set. Read-only transactions submit empty sets (§5.1).
+func (t *Txn) prepareCommit() oracle.CommitRequest {
+	if len(t.writes) == 0 {
+		return oracle.CommitRequest{StartTS: t.startTS}
 	}
 
 	// Deferred writes reach the data servers before the commit request:
@@ -299,15 +330,21 @@ func (t *Txn) Commit() error {
 	for b := range t.readBuckets {
 		req.ReadSet = append(req.ReadSet, bucketRowID(b))
 	}
+	return req
+}
 
-	res, err := t.client.so.Commit(req)
+// finishCommit applies the oracle's decision to the transaction: cleanup and
+// forget on conflict, commit bookkeeping and (in write-back mode) shadow
+// cells on success.
+func (t *Txn) finishCommit(res oracle.CommitResult, err error) CommitOutcome {
+	t.client.active.remove(t.startTS)
 	if err != nil {
-		return err
+		return CommitOutcome{Err: err}
 	}
 	if !res.Committed {
 		t.cleanup()
 		t.client.forget(t.startTS)
-		return ErrConflict
+		return CommitOutcome{Err: ErrConflict}
 	}
 	t.committed = true
 	t.commitTS = res.CommitTS
@@ -316,7 +353,7 @@ func (t *Txn) Commit() error {
 			t.client.store.PutShadow(k, t.startTS, res.CommitTS)
 		}
 	}
-	return nil
+	return CommitOutcome{Committed: true, CommitTS: res.CommitTS}
 }
 
 // Abort rolls the transaction back: tentative versions are deleted and the

@@ -128,6 +128,48 @@ func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
 	return done, nil
 }
 
+// AppendAll enqueues a group of entries under a single lock acquisition —
+// one batching decision for the whole group instead of one per entry — and
+// blocks until every entry is durable on a quorum of ledgers. The status
+// oracle's batched commit path uses it to persist a commit batch and its
+// accompanying abort records as one group commit.
+func (w *Writer) AppendAll(entries ...[]byte) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	done := make(chan error, len(entries))
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	for _, entry := range entries {
+		data := make([]byte, len(entry))
+		copy(data, entry)
+		w.pending = append(w.pending, pendingEntry{data: data, done: done})
+		w.bytes += len(data) + frameOverhead
+	}
+	if w.bytes >= w.cfg.BatchBytes {
+		batch := w.takeLocked()
+		w.mu.Unlock()
+		go w.flush(batch)
+	} else {
+		if w.timer == nil {
+			w.timer = time.AfterFunc(w.cfg.BatchDelay, w.flushTimer)
+		}
+		w.mu.Unlock()
+	}
+
+	var first error
+	for range entries {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // flushTimer fires when BatchDelay elapses.
 func (w *Writer) flushTimer() {
 	w.mu.Lock()
@@ -195,11 +237,14 @@ func DecodeBatch(batch []byte) ([][]byte, error) {
 // flush replicates one batch to all ledgers and acknowledges the entries
 // once a quorum has accepted it.
 func (w *Writer) flush(entries []pendingEntry) {
+	// Taken even for an empty batch: Flush/Close must block until any
+	// in-flight flush has fully replicated before claiming the log is
+	// synced.
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
 	if len(entries) == 0 {
 		return
 	}
-	w.flushMu.Lock()
-	defer w.flushMu.Unlock()
 
 	batch := encodeBatch(entries)
 	errs := make(chan error, len(w.ledgers))
@@ -209,9 +254,25 @@ func (w *Writer) flush(entries []pendingEntry) {
 			errs <- err
 		}(l)
 	}
+	// Callers are acknowledged as soon as the quorum decides, but the
+	// flush holds flushMu until every replica has responded: a straggler
+	// append racing into the next batch would reorder that ledger's
+	// batches (breaking Replay), and Flush/Close must be true barriers so
+	// recovery never reads a ledger with an append still in flight.
 	acks, fails := 0, 0
 	var firstErr error
 	need := w.cfg.Quorum
+	acked := false
+	ack := func() {
+		var result error
+		if acks < need {
+			result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
+		}
+		for _, e := range entries {
+			e.done <- result
+		}
+		acked = true
+	}
 	for i := 0; i < len(w.ledgers); i++ {
 		err := <-errs
 		if err == nil {
@@ -222,19 +283,12 @@ func (w *Writer) flush(entries []pendingEntry) {
 				firstErr = err
 			}
 		}
-		if acks >= need {
-			break
-		}
-		if fails > len(w.ledgers)-need {
-			break
+		if !acked && (acks >= need || fails > len(w.ledgers)-need) {
+			ack()
 		}
 	}
-	var result error
-	if acks < need {
-		result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
-	}
-	for _, e := range entries {
-		e.done <- result
+	if !acked {
+		ack()
 	}
 }
 

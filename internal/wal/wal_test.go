@@ -373,3 +373,62 @@ func TestThroughputWithBatching(t *testing.T) {
 		t.Fatalf("no batching happened: %d batches for %d entries", batches, n)
 	}
 }
+
+func TestAppendAllGroupDurable(t *testing.T) {
+	w, ledgers := newTestWriter(t, Config{BatchBytes: 1 << 20, BatchDelay: time.Millisecond}, 3)
+	defer w.Close()
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		want = append(want, []byte(fmt.Sprintf("group-entry-%d", i)))
+	}
+	if err := w.AppendAll(want...); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	if err := Replay(ledgers[0], func(e []byte) error {
+		got = append(got, append([]byte(nil), e...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("entry %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendAllEmptyAndClosed(t *testing.T) {
+	w, _ := newTestWriter(t, DefaultConfig(), 1)
+	if err := w.AppendAll(); err != nil {
+		t.Fatalf("empty AppendAll: %v", err)
+	}
+	w.Close()
+	if err := w.AppendAll([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AppendAll after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestAppendAllSizeTrigger(t *testing.T) {
+	// A group whose combined size crosses BatchBytes must flush without
+	// waiting for the delay timer.
+	w, ledgers := newTestWriter(t, Config{BatchBytes: 64, BatchDelay: time.Hour}, 1)
+	defer w.Close()
+	entries := [][]byte{make([]byte, 40), make([]byte, 40)}
+	done := make(chan error, 1)
+	go func() { done <- w.AppendAll(entries...) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AppendAll did not flush on the size trigger")
+	}
+	if n, _ := ledgers[0].NumBatches(); n != 1 {
+		t.Fatalf("got %d batches, want 1", n)
+	}
+}
