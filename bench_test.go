@@ -303,6 +303,55 @@ func BenchmarkCommitAsyncPipeline(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryBatch measures per-lookup status-resolution cost through
+// QueryBatch across batch sizes (batch-1 is the serial Query cost); the
+// amortization of commit-table lock passes is the headroom behind the
+// batched read path. Each benchmark op is one lookup, so ns/op is directly
+// comparable across sizes.
+func BenchmarkQueryBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			clock := tso.New(0, nil)
+			so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: clock})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Seed a populated commit table so lookups hit real entries.
+			const seeded = 4096
+			starts := make([]uint64, seeded)
+			reqs := make([]oracle.CommitRequest, seeded)
+			for i := range reqs {
+				ts, err := so.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				starts[i] = ts
+				reqs[i] = oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{oracle.RowID(i)}}
+			}
+			if _, err := so.CommitBatch(reqs); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			tss := make([]uint64, size)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += size {
+				n := size
+				if b.N-done < n {
+					n = b.N - done
+				}
+				for i := 0; i < n; i++ {
+					tss[i] = starts[rng.Intn(seeded)]
+				}
+				if n == 1 {
+					so.Query(tss[0])
+				} else {
+					so.QueryBatch(tss[:n])
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationShards compares the single critical section against the

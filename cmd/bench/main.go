@@ -27,6 +27,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced parameters for a fast smoke run")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		batchMax = flag.Int("batchmax", 0, "cap the commit-batch sweep of the batch experiment (0 = full sweep)")
+		readMax  = flag.Int("readmax", 0, "cap the lookup-batch sweep of the read experiment (0 = full sweep)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,15 @@ func main() {
 			}
 		}
 		bench.BatchSizes = sizes
+	}
+	if *readMax > 0 {
+		var sizes []int
+		for _, s := range bench.ReadBatchSizes {
+			if s <= *readMax {
+				sizes = append(sizes, s)
+			}
+		}
+		bench.ReadBatchSizes = sizes
 	}
 
 	if *list {

@@ -37,8 +37,8 @@ func main() {
 		shards  = flag.Int("shards", 1, "critical-section shards (1 = paper's implementation)")
 		fsync   = flag.Bool("fsync", true, "fsync each WAL batch (with -wal)")
 
-		coalesce      = flag.Int("coalesce", 0, "server-side commit coalescing: max single-commit frames merged into one oracle batch (0 = off)")
-		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a commit waits for its batch to fill (with -coalesce)")
+		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
+		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
 	)
 	flag.Parse()
 
@@ -92,7 +92,7 @@ func main() {
 	if *coalesce > 0 {
 		srv.CoalesceMaxBatch = *coalesce
 		srv.CoalesceMaxDelay = *coalesceDelay
-		log.Printf("oracle-server: coalescing up to %d commits per batch (max delay %v)", *coalesce, *coalesceDelay)
+		log.Printf("oracle-server: coalescing up to %d commits/queries per batch (max delay %v)", *coalesce, *coalesceDelay)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

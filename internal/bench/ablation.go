@@ -239,8 +239,9 @@ func ablationShards(workers int, duration time.Duration) (string, error) {
 	return b.String(), nil
 }
 
-// countingArbiter wraps an arbiter and counts Query round trips, the cost
-// that the commit-info replication strategies (§2.2) are designed to avoid.
+// countingArbiter wraps an arbiter and counts status lookups — whether they
+// arrive as single Query calls or inside a QueryBatch — the cost that the
+// commit-info replication strategies (§2.2) are designed to avoid.
 type countingArbiter struct {
 	*oracle.StatusOracle
 	mu      sync.Mutex
@@ -252,6 +253,13 @@ func (c *countingArbiter) Query(startTS uint64) oracle.TxnStatus {
 	c.queries++
 	c.mu.Unlock()
 	return c.StatusOracle.Query(startTS)
+}
+
+func (c *countingArbiter) QueryBatch(startTSs []uint64) []oracle.TxnStatus {
+	c.mu.Lock()
+	c.queries += int64(len(startTSs))
+	c.mu.Unlock()
+	return c.StatusOracle.QueryBatch(startTSs)
 }
 
 // ablationCommitInfo compares the three §2.2 commit-timestamp resolution

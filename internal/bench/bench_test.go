@@ -12,7 +12,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"micro", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"appendix-wal", "batch",
+		"appendix-wal", "batch", "read",
 		"ablation-engines", "ablation-shards", "ablation-commitinfo", "ablation-maxrows",
 	}
 	all := All()

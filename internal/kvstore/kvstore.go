@@ -120,7 +120,12 @@ func (s *Store) Servers() []*RegionServer { return s.servers }
 func (s *Store) regionFor(key string) *Region {
 	s.topoMu.RLock()
 	defer s.topoMu.RUnlock()
-	// Find the last region whose StartKey <= key.
+	return s.regionForLocked(key)
+}
+
+// regionForLocked finds the last region whose StartKey <= key. Caller
+// holds topoMu.
+func (s *Store) regionForLocked(key string) *Region {
 	i := sort.Search(len(s.regions), func(i int) bool {
 		return s.regions[i].StartKey > key
 	}) - 1
@@ -143,6 +148,34 @@ func (s *Store) Put(key string, ts uint64, value []byte) {
 // before, newest first. limit <= 0 means all.
 func (s *Store) Get(key string, before uint64, limit int) []Version {
 	return s.regionFor(key).get(key, before, limit)
+}
+
+// MultiGet is the batched form of Get: result[i] holds keys[i]'s versions
+// with timestamp strictly below before, newest first, up to limit each
+// (limit <= 0 means all). Keys are grouped by owning region so each covered
+// region's lock — and its server's cache-accounting mutex — is taken once
+// for the whole group instead of once per key.
+func (s *Store) MultiGet(keys []string, before uint64, limit int) [][]Version {
+	out := make([][]Version, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	// Group key positions by region under one topology snapshot.
+	s.topoMu.RLock()
+	groups := make(map[*Region][]int)
+	for i, key := range keys {
+		r := s.regionForLocked(key)
+		groups[r] = append(groups[r], i)
+	}
+	s.topoMu.RUnlock()
+	for r, idx := range groups {
+		rkeys := make([]string, len(idx))
+		for p, i := range idx {
+			rkeys[p] = keys[i]
+		}
+		r.multiGet(out, idx, rkeys, before, limit)
+	}
+	return out
 }
 
 // GetVersion returns the exact version of key written at ts.

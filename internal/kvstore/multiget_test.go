@@ -1,0 +1,68 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMultiGetMatchesGet checks the batched region read against per-key
+// Get across a multi-region, multi-server topology: identical versions in
+// identical order, missing keys yielding nil, duplicates answered
+// independently.
+func TestMultiGetMatchesGet(t *testing.T) {
+	s := New(Config{Servers: 3, SplitKeys: []string{"k03", "k06", "k09"}})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		for v := 0; v < 1+rng.Intn(4); v++ {
+			s.Put(key, uint64(10*i+v+1), []byte(fmt.Sprintf("%s@%d", key, v)))
+		}
+	}
+	keys := []string{"k00", "k11", "k05", "missing", "k05", "k09", "k02"}
+	for _, before := range []uint64{^uint64(0), 55, 1} {
+		got := s.MultiGet(keys, before, 0)
+		if len(got) != len(keys) {
+			t.Fatalf("MultiGet returned %d results for %d keys", len(got), len(keys))
+		}
+		for i, key := range keys {
+			want := s.Get(key, before, 0)
+			if len(got[i]) != len(want) {
+				t.Fatalf("before=%d key %q: MultiGet %d versions, Get %d", before, key, len(got[i]), len(want))
+			}
+			for j := range want {
+				if got[i][j].TS != want[j].TS || string(got[i][j].Value) != string(want[j].Value) {
+					t.Fatalf("before=%d key %q version %d: %+v != %+v", before, key, j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+	// The version limit applies per key.
+	limited := s.MultiGet([]string{"k01"}, ^uint64(0), 1)
+	if len(limited[0]) != 1 {
+		t.Fatalf("limit ignored: %d versions", len(limited[0]))
+	}
+	if empty := s.MultiGet(nil, ^uint64(0), 0); len(empty) != 0 {
+		t.Fatalf("nil keys returned %d results", len(empty))
+	}
+}
+
+// TestMultiGetChargesEveryRead checks cache/latency accounting parity: a
+// batched read still counts one read per key (misses included), it just
+// pays one lock pass per region server.
+func TestMultiGetChargesEveryRead(t *testing.T) {
+	s := New(Config{Servers: 2, SplitKeys: []string{"k5"}, CacheRows: 2})
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("k%d", i), 1, []byte("v"))
+	}
+	before := s.Stats()
+	keys := []string{"k0", "k3", "k6", "k7", "nope"}
+	s.MultiGet(keys, ^uint64(0), 0)
+	after := s.Stats()
+	if got := after.Reads - before.Reads; got != int64(len(keys)) {
+		t.Fatalf("batched read charged %d reads, want %d", got, len(keys))
+	}
+	if hitsMiss := (after.CacheHits - before.CacheHits) + (after.CacheMiss - before.CacheMiss); hitsMiss != int64(len(keys)) {
+		t.Fatalf("cache accounting covered %d keys, want %d", hitsMiss, len(keys))
+	}
+}

@@ -92,6 +92,33 @@ func (r *Region) get(key string, before uint64, limit int) []Version {
 	return out
 }
 
+// multiGet resolves many keys of this region under one lock acquisition:
+// for each position p in idx, out[idx[p]] receives up to limit versions of
+// keys[p] with TS < before, newest first. Cache accounting for the whole
+// group costs one server-mutex pass.
+func (r *Region) multiGet(out [][]Version, idx []int, keys []string, before uint64, limit int) {
+	r.server.chargeReadBatch(keys)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for p, key := range keys {
+		rw, ok := r.rows[key]
+		if !ok {
+			continue
+		}
+		var vs []Version
+		for _, v := range rw.versions {
+			if v.TS >= before {
+				continue
+			}
+			vs = append(vs, v)
+			if limit > 0 && len(vs) >= limit {
+				break
+			}
+		}
+		out[idx[p]] = vs
+	}
+}
+
 // getVersion returns the exact version written at ts.
 func (r *Region) getVersion(key string, ts uint64) (Version, error) {
 	r.server.chargeRead(key)

@@ -60,6 +60,34 @@ func (rs *RegionServer) chargeRead(key string) {
 	}
 }
 
+// chargeReadBatch accounts a batched read of many keys under one mutex
+// pass, simulating each key's cache behaviour. The modelled latency is the
+// sum of the per-key costs — a multiget still pays every disk seek — but it
+// is charged as one sleep, and the cache bookkeeping costs one lock
+// acquisition instead of one per key.
+func (rs *RegionServer) chargeReadBatch(keys []string) {
+	var delay time.Duration
+	rs.mu.Lock()
+	for _, key := range keys {
+		rs.reads++
+		if rs.cache == nil {
+			rs.hits++
+			delay += rs.latency.ReadCache
+		} else if rs.cache.touch(key) {
+			rs.hits++
+			delay += rs.latency.ReadCache
+		} else {
+			rs.misses++
+			rs.cache.add(key)
+			delay += rs.latency.ReadDisk
+		}
+	}
+	rs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
 // chargeWrite accounts one write. Writes go to the memstore, so the row
 // becomes cache-resident.
 func (rs *RegionServer) chargeWrite(key string) {

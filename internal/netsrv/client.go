@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"net"
 	"sync"
 
@@ -200,6 +199,27 @@ func (c *Client) Query(startTS uint64) oracle.TxnStatus {
 	return st
 }
 
+// QueryBatch resolves many transaction statuses in one round trip — one
+// request frame, one opQueryBatch server call, one response frame — instead
+// of one per lookup. result[i] answers startTSs[i]. Like Query, it has no
+// error path: on a transport failure every lookup degrades to pending (the
+// reader skips the versions and may retry).
+func (c *Client) QueryBatch(startTSs []uint64) []oracle.TxnStatus {
+	out := make([]oracle.TxnStatus, len(startTSs))
+	if len(startTSs) == 0 {
+		return out
+	}
+	payload, err := c.call(opQueryBatch, encodeQueryBatchReq(startTSs))
+	if err != nil {
+		return out
+	}
+	statuses, err := decodeQueryBatchResp(payload)
+	if err != nil || len(statuses) != len(startTSs) {
+		return out
+	}
+	return statuses
+}
+
 // Forget drops an aborted transaction's record after cleanup.
 func (c *Client) Forget(startTS uint64) {
 	_, _ = c.call(opForget, u64(startTS))
@@ -211,20 +231,7 @@ func (c *Client) Stats() (oracle.Stats, error) {
 	if err != nil {
 		return oracle.Stats{}, err
 	}
-	if len(payload) != 64 {
-		return oracle.Stats{}, ErrBadFrame
-	}
-	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(payload[i*8:])) }
-	return oracle.Stats{
-		Begins:          v(0),
-		Commits:         v(1),
-		ReadOnlyCommits: v(2),
-		ConflictAborts:  v(3),
-		TmaxAborts:      v(4),
-		ExplicitAborts:  v(5),
-		Batches:         v(6),
-		BatchSizeAvg:    math.Float64frombits(binary.BigEndian.Uint64(payload[7*8:])),
-	}, nil
+	return decodeStats(payload)
 }
 
 // Subscribe opens a dedicated event-stream connection and adapts it to the

@@ -7,7 +7,7 @@ import (
 	"repro/internal/oracle"
 )
 
-// ErrServerClosed reports a commit submitted while the server shuts down.
+// ErrServerClosed reports a request submitted while the server shuts down.
 var ErrServerClosed = errors.New("netsrv: server closed")
 
 // coalescer adapts the shared oracle.Batcher as the server-side commit
@@ -15,7 +15,7 @@ var ErrServerClosed = errors.New("netsrv: server closed")
 // goroutine) are merged into oracle batches, so existing unbatched clients
 // transparently ride the batched commit path.
 type coalescer struct {
-	b *oracle.Batcher
+	b *oracle.Batcher[oracle.CommitRequest, oracle.CommitResult]
 }
 
 func newCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Duration) *coalescer {
@@ -25,21 +25,39 @@ func newCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Duration)
 // submit parks one commit request in the accumulation loop and waits for its
 // batch's decision.
 func (c *coalescer) submit(req oracle.CommitRequest) (oracle.CommitResult, error) {
-	type outcome struct {
-		res oracle.CommitResult
-		err error
-	}
-	done := make(chan outcome, 1)
-	c.b.Submit(req, func(res oracle.CommitResult, err error) {
-		done <- outcome{res: res, err: err}
-	})
-	o := <-done
-	if errors.Is(o.err, oracle.ErrBatcherStopped) {
+	res, err := c.b.SubmitWait(req)
+	if errors.Is(err, oracle.ErrBatcherStopped) {
 		return oracle.CommitResult{}, ErrServerClosed
 	}
-	return o.res, o.err
+	return res, err
 }
 
 // stop shuts the loop down. The server calls it only after every connection
 // handler has returned, so no submitter can be left waiting.
 func (c *coalescer) stop() { c.b.Stop() }
+
+// queryCoalescer is the read-side twin of the commit coalescer, built on
+// the same oracle.Batcher accumulation loop: concurrent single-query frames
+// are merged into one QueryBatch per cut batch, so unbatched clients get
+// batched status resolution for free.
+type queryCoalescer struct {
+	b *oracle.Batcher[uint64, oracle.TxnStatus]
+}
+
+func newQueryCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Duration) *queryCoalescer {
+	decide := func(startTSs []uint64) ([]oracle.TxnStatus, error) {
+		return so.QueryBatch(startTSs), nil
+	}
+	return &queryCoalescer{b: oracle.NewBatcher(decide, maxBatch, maxDelay)}
+}
+
+// submit parks one status lookup and waits for its batch's answers.
+func (c *queryCoalescer) submit(startTS uint64) (oracle.TxnStatus, error) {
+	st, err := c.b.SubmitWait(startTS)
+	if errors.Is(err, oracle.ErrBatcherStopped) {
+		return oracle.TxnStatus{}, ErrServerClosed
+	}
+	return st, err
+}
+
+func (c *queryCoalescer) stop() { c.b.Stop() }

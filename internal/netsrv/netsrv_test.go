@@ -596,6 +596,166 @@ func TestCoalescerConflictDecisions(t *testing.T) {
 	}
 }
 
+func TestQueryBatchOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	t1, _ := c.Begin()
+	t2, _ := c.Begin()
+	t3, _ := c.Begin()
+	r1, err := c.Commit(oracle.CommitRequest{StartTS: t1, WriteSet: []oracle.RowID{1}})
+	if err != nil || !r1.Committed {
+		t.Fatalf("commit: %+v %v", r1, err)
+	}
+	if err := c.Abort(t2); err != nil {
+		t.Fatal(err)
+	}
+	// t3 stays pending; 1<<40 was never seen.
+	batch := []uint64{t1, t2, t3, 1 << 40, t1}
+	got := c.QueryBatch(batch)
+	if len(got) != len(batch) {
+		t.Fatalf("got %d statuses, want %d", len(got), len(batch))
+	}
+	// Every answer must match the per-key query op.
+	for i, ts := range batch {
+		if want := c.Query(ts); got[i] != want {
+			t.Fatalf("lookup %d (ts %d): batch %+v, serial %+v", i, ts, got[i], want)
+		}
+	}
+	if got[0].Status != oracle.StatusCommitted || got[0].CommitTS != r1.CommitTS {
+		t.Fatalf("committed lookup = %+v", got[0])
+	}
+	if got[1].Status != oracle.StatusAborted || got[2].Status != oracle.StatusPending {
+		t.Fatalf("abort/pending lookups = %+v %+v", got[1], got[2])
+	}
+	if out := c.QueryBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d statuses", len(out))
+	}
+}
+
+func TestQueryBatchCodecRoundTrip(t *testing.T) {
+	startTSs := []uint64{0, 1, 1 << 40, ^uint64(0)}
+	dec, err := decodeQueryBatchReq(encodeQueryBatchReq(startTSs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range startTSs {
+		if dec[i] != startTSs[i] {
+			t.Fatalf("request ts %d: %d != %d", i, dec[i], startTSs[i])
+		}
+	}
+	statuses := []oracle.TxnStatus{
+		{Status: oracle.StatusCommitted, CommitTS: 42},
+		{Status: oracle.StatusAborted},
+		{Status: oracle.StatusPending},
+		{Status: oracle.StatusUnknown},
+	}
+	got, err := decodeQueryBatchResp(encodeQueryBatchResp(statuses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range statuses {
+		if got[i] != statuses[i] {
+			t.Fatalf("status %d: %+v != %+v", i, got[i], statuses[i])
+		}
+	}
+	// Corruption is rejected.
+	if _, err := decodeQueryBatchReq([]byte{0, 0}); err == nil {
+		t.Fatal("short query-batch request decoded without error")
+	}
+	enc := encodeQueryBatchReq(startTSs)
+	if _, err := decodeQueryBatchReq(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated query-batch request decoded without error")
+	}
+	resp := encodeQueryBatchResp(statuses)
+	if _, err := decodeQueryBatchResp(append(resp, 0)); err == nil {
+		t.Fatal("padded query-batch response decoded without error")
+	}
+}
+
+// TestQueryCoalescerMergesConcurrentQueries drives concurrent per-key query
+// frames through a coalescing server and checks every answer is still
+// correct while the oracle observes multi-lookup batches.
+func TestQueryCoalescerMergesConcurrentQueries(t *testing.T) {
+	clock := tso.New(0, nil)
+	so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed committed transactions to look up.
+	const seeded = 64
+	starts := make([]uint64, seeded)
+	commits := make([]uint64, seeded)
+	for i := range starts {
+		ts, _ := so.Begin()
+		res, err := so.Commit(oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{oracle.RowID(i)}})
+		if err != nil || !res.Committed {
+			t.Fatalf("seed %d: %+v %v", i, res, err)
+		}
+		starts[i], commits[i] = ts, res.CommitTS
+	}
+	srv := NewServer(so)
+	srv.Logf = nil
+	srv.CoalesceMaxBatch = 16
+	srv.CoalesceMaxDelay = time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	base := so.Stats()
+	const goroutines, per = 16, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := (g*per + i) % seeded
+				st := c.Query(starts[k])
+				if st.Status != oracle.StatusCommitted || st.CommitTS != commits[k] {
+					errs <- fmt.Errorf("lookup %d = %+v, want committed at %d", k, st, commits[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := so.Stats()
+	if got := st.Queries - base.Queries; got != goroutines*per {
+		t.Fatalf("oracle saw %d lookups, want %d", got, goroutines*per)
+	}
+	if batches := st.QueryBatches - base.QueryBatches; batches >= goroutines*per {
+		t.Fatalf("query coalescer produced %d batches for %d lookups — nothing merged", batches, goroutines*per)
+	}
+}
+
+func TestStatsQueryFieldsOverNetwork(t *testing.T) {
+	_, c := startServer(t, oracle.WSI)
+	t1, _ := c.Begin()
+	if _, err := c.Commit(oracle.CommitRequest{StartTS: t1, WriteSet: []oracle.RowID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.QueryBatch([]uint64{t1, t1, t1, t1})
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 4 || st.QueryBatches != 1 || st.QueryBatchSizeAvg != 4 {
+		t.Fatalf("read stats over wire = Queries:%d QueryBatches:%d Avg:%v, want 4/1/4",
+			st.Queries, st.QueryBatches, st.QueryBatchSizeAvg)
+	}
+}
+
 func TestStatsBatchFieldsOverNetwork(t *testing.T) {
 	_, c := startServer(t, oracle.WSI)
 	t1, _ := c.Begin()

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/oracle"
 )
@@ -34,6 +35,7 @@ const (
 	opSubscribe   = 6
 	opStats       = 7
 	opCommitBatch = 8
+	opQueryBatch  = 9
 )
 
 // Response codes.
@@ -271,6 +273,106 @@ func parseTxnStatus(b []byte) (oracle.TxnStatus, error) {
 	return oracle.TxnStatus{
 		Status:   oracle.Status(b[0]),
 		CommitTS: binary.BigEndian.Uint64(b[1:]),
+	}, nil
+}
+
+// encodeQueryBatchReq renders a batched status-query payload: count(u32)
+// followed by the start timestamps.
+func encodeQueryBatchReq(startTSs []uint64) []byte {
+	b := make([]byte, 4, 4+len(startTSs)*8)
+	binary.BigEndian.PutUint32(b, uint32(len(startTSs)))
+	for _, ts := range startTSs {
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], ts)
+		b = append(b, v[:]...)
+	}
+	return b
+}
+
+func decodeQueryBatchReq(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(len(rest)) != uint64(count)*8 {
+		return nil, ErrBadFrame
+	}
+	startTSs := make([]uint64, count)
+	for i := range startTSs {
+		startTSs[i] = binary.BigEndian.Uint64(rest[i*8 : i*8+8])
+	}
+	return startTSs, nil
+}
+
+// encodeQueryBatchResp renders the statuses of a query batch: count(u32)
+// then 9 bytes per TxnStatus.
+func encodeQueryBatchResp(statuses []oracle.TxnStatus) []byte {
+	b := make([]byte, 4, 4+len(statuses)*9)
+	binary.BigEndian.PutUint32(b, uint32(len(statuses)))
+	for i := range statuses {
+		b = append(b, byte(statuses[i].Status))
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], statuses[i].CommitTS)
+		b = append(b, v[:]...)
+	}
+	return b
+}
+
+func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(len(rest)) != uint64(count)*9 {
+		return nil, ErrBadFrame
+	}
+	statuses := make([]oracle.TxnStatus, count)
+	for i := range statuses {
+		statuses[i] = oracle.TxnStatus{
+			Status:   oracle.Status(rest[0]),
+			CommitTS: binary.BigEndian.Uint64(rest[1:9]),
+		}
+		rest = rest[9:]
+	}
+	return statuses, nil
+}
+
+// statsPayloadLen is the fixed size of an opStats response: 11 fields of 8
+// bytes (counters as u64, averages as IEEE-754 bits).
+const statsPayloadLen = 11 * 8
+
+// encodeStats renders the oracle counters in wire order.
+func encodeStats(st oracle.Stats) []byte {
+	out := make([]byte, statsPayloadLen)
+	for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts, st.Batches} {
+		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	binary.BigEndian.PutUint64(out[7*8:], math.Float64bits(st.BatchSizeAvg))
+	binary.BigEndian.PutUint64(out[8*8:], uint64(st.Queries))
+	binary.BigEndian.PutUint64(out[9*8:], uint64(st.QueryBatches))
+	binary.BigEndian.PutUint64(out[10*8:], math.Float64bits(st.QueryBatchSizeAvg))
+	return out
+}
+
+func decodeStats(b []byte) (oracle.Stats, error) {
+	if len(b) != statsPayloadLen {
+		return oracle.Stats{}, ErrBadFrame
+	}
+	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(b[i*8:])) }
+	return oracle.Stats{
+		Begins:            v(0),
+		Commits:           v(1),
+		ReadOnlyCommits:   v(2),
+		ConflictAborts:    v(3),
+		TmaxAborts:        v(4),
+		ExplicitAborts:    v(5),
+		Batches:           v(6),
+		BatchSizeAvg:      math.Float64frombits(binary.BigEndian.Uint64(b[7*8:])),
+		Queries:           v(8),
+		QueryBatches:      v(9),
+		QueryBatchSizeAvg: math.Float64frombits(binary.BigEndian.Uint64(b[10*8:])),
 	}, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"log"
-	"math"
 	"net"
 	"sync"
 	"time"
@@ -17,9 +16,10 @@ import (
 // serial handling would needlessly batch latencies); responses carry the
 // request id and may arrive out of order.
 type Server struct {
-	so   *oracle.StatusOracle
-	ln   net.Listener
-	coal *coalescer
+	so    *oracle.StatusOracle
+	ln    net.Listener
+	coal  *coalescer
+	qcoal *queryCoalescer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -30,11 +30,13 @@ type Server struct {
 	// log.Printf; tests silence it).
 	Logf func(format string, args ...interface{})
 
-	// CoalesceMaxBatch, when > 0, enables the server-side commit
-	// coalescer: concurrent single-commit frames are accumulated into
-	// oracle batches of up to this size, cut after CoalesceMaxDelay if a
-	// batch does not fill first. Set both before Listen. Batched frames
-	// (opCommitBatch) bypass the coalescer — they are already batches.
+	// CoalesceMaxBatch, when > 0, enables the server-side coalescers:
+	// concurrent single-commit frames are accumulated into oracle commit
+	// batches of up to this size, and concurrent single-query frames into
+	// QueryBatch calls, each cut after CoalesceMaxDelay if a batch does
+	// not fill first. Set both before Listen. Batched frames
+	// (opCommitBatch, opQueryBatch) bypass the coalescers — they are
+	// already batches.
 	CoalesceMaxBatch int
 	CoalesceMaxDelay time.Duration
 }
@@ -61,6 +63,7 @@ func (s *Server) Listen(addr string) (string, error) {
 			delay = defaultCoalesceDelay
 		}
 		s.coal = newCoalescer(s.so, s.CoalesceMaxBatch, delay)
+		s.qcoal = newQueryCoalescer(s.so, s.CoalesceMaxBatch, delay)
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -116,11 +119,14 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
-	// Handlers drain first (commits parked in the coalescer still get
-	// their decisions), then the coalescer loop is stopped.
+	// Handlers drain first (requests parked in the coalescers still get
+	// their decisions), then the coalescer loops are stopped.
 	s.wg.Wait()
 	if s.coal != nil {
 		s.coal.stop()
+	}
+	if s.qcoal != nil {
+		s.qcoal.stop()
 	}
 	return err
 }
@@ -231,7 +237,22 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeTxnStatus(s.so.Query(ts)))
+		var st oracle.TxnStatus
+		if s.qcoal != nil {
+			st, err = s.qcoal.submit(ts)
+			if err != nil {
+				return respError(reqID, err)
+			}
+		} else {
+			st = s.so.Query(ts)
+		}
+		return respOK(reqID, encodeTxnStatus(st))
+	case opQueryBatch:
+		startTSs, err := decodeQueryBatchReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, encodeQueryBatchResp(s.so.QueryBatch(startTSs)))
 	case opForget:
 		ts, err := parseU64(payload)
 		if err != nil {
@@ -240,13 +261,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		s.so.Forget(ts)
 		return respOK(reqID, nil)
 	case opStats:
-		st := s.so.Stats()
-		out := make([]byte, 8*8)
-		for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts, st.Batches} {
-			binary.BigEndian.PutUint64(out[i*8:], uint64(v))
-		}
-		binary.BigEndian.PutUint64(out[7*8:], math.Float64bits(st.BatchSizeAvg))
-		return respOK(reqID, out)
+		return respOK(reqID, encodeStats(s.so.Stats()))
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}

@@ -9,24 +9,25 @@ import (
 // ErrBatcherStopped reports a request submitted to a stopped Batcher.
 var ErrBatcherStopped = errors.New("oracle: batcher stopped")
 
-// batcherItem is one commit request parked in a Batcher.
-type batcherItem struct {
-	req  CommitRequest
-	done func(CommitResult, error)
+// batcherItem is one request parked in a Batcher.
+type batcherItem[Q, R any] struct {
+	req  Q
+	done func(R, error)
 }
 
-// Batcher is the shared accumulation loop behind every commit-coalescing
-// layer (the netsrv server-side coalescer and the txn client-side commit
-// pipeliner): requests submitted by any number of goroutines are funneled
-// through a channel into one loop that cuts batches on a max-size or
-// max-delay trigger and hands them to the decide function (typically a
-// CommitBatch). Batches are decided on their own goroutines, so a batch
-// waiting on the WAL group commit never stalls accumulation of the next.
-type Batcher struct {
-	decide   func([]CommitRequest) ([]CommitResult, error)
+// Batcher is the shared accumulation loop behind every coalescing layer —
+// the netsrv server-side commit and query coalescers and the txn
+// client-side commit pipeliner: requests submitted by any number of
+// goroutines are funneled through a channel into one loop that cuts batches
+// on a max-size or max-delay trigger and hands them to the decide function
+// (typically a CommitBatch or QueryBatch). Batches are decided on their own
+// goroutines, so a batch waiting on the WAL group commit never stalls
+// accumulation of the next.
+type Batcher[Q, R any] struct {
+	decide   func([]Q) ([]R, error)
 	maxBatch int
 	maxDelay time.Duration
-	items    chan batcherItem
+	items    chan batcherItem[Q, R]
 	quit     chan struct{}
 	wg       sync.WaitGroup
 
@@ -36,12 +37,12 @@ type Batcher struct {
 
 // NewBatcher starts a batcher cutting batches of up to maxBatch after at
 // most maxDelay.
-func NewBatcher(decide func([]CommitRequest) ([]CommitResult, error), maxBatch int, maxDelay time.Duration) *Batcher {
-	b := &Batcher{
+func NewBatcher[Q, R any](decide func([]Q) ([]R, error), maxBatch int, maxDelay time.Duration) *Batcher[Q, R] {
+	b := &Batcher[Q, R]{
 		decide:   decide,
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
-		items:    make(chan batcherItem, 4*maxBatch),
+		items:    make(chan batcherItem[Q, R], 4*maxBatch),
 		quit:     make(chan struct{}),
 	}
 	b.wg.Add(1)
@@ -51,7 +52,7 @@ func NewBatcher(decide func([]CommitRequest) ([]CommitResult, error), maxBatch i
 
 // Submit parks one request; done is invoked exactly once, from a batcher
 // goroutine (or inline after Stop), when the decision is in.
-func (b *Batcher) Submit(req CommitRequest, done func(CommitResult, error)) {
+func (b *Batcher[Q, R]) Submit(req Q, done func(R, error)) {
 	// The closed flag is checked under a read lock so no send can race
 	// past Stop: Stop flips the flag under the write lock before closing
 	// quit, and the loop drains the channel on quit, so every request
@@ -59,16 +60,32 @@ func (b *Batcher) Submit(req CommitRequest, done func(CommitResult, error)) {
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		done(CommitResult{}, ErrBatcherStopped)
+		var zero R
+		done(zero, ErrBatcherStopped)
 		return
 	}
-	b.items <- batcherItem{req: req, done: done}
+	b.items <- batcherItem[Q, R]{req: req, done: done}
 	b.mu.RUnlock()
 }
 
-func (b *Batcher) loop() {
+// SubmitWait parks one request and blocks until its batch's decision is in
+// — the synchronous shape every per-frame server handler needs.
+func (b *Batcher[Q, R]) SubmitWait(req Q) (R, error) {
+	type outcome struct {
+		res R
+		err error
+	}
+	done := make(chan outcome, 1)
+	b.Submit(req, func(res R, err error) {
+		done <- outcome{res: res, err: err}
+	})
+	o := <-done
+	return o.res, o.err
+}
+
+func (b *Batcher[Q, R]) loop() {
 	defer b.wg.Done()
-	var batch []batcherItem
+	var batch []batcherItem[Q, R]
 	var timer *time.Timer
 	var timeout <-chan time.Time
 	flush := func() {
@@ -118,13 +135,14 @@ func (b *Batcher) loop() {
 			// Fail parked items, then drain the channel: Submit stops
 			// sending before quit closes, so this leaves nothing
 			// behind.
+			var zero R
 			for _, it := range batch {
-				it.done(CommitResult{}, ErrBatcherStopped)
+				it.done(zero, ErrBatcherStopped)
 			}
 			for {
 				select {
 				case it := <-b.items:
-					it.done(CommitResult{}, ErrBatcherStopped)
+					it.done(zero, ErrBatcherStopped)
 				default:
 					return
 				}
@@ -134,15 +152,16 @@ func (b *Batcher) loop() {
 }
 
 // run decides one batch and fans the results out.
-func (b *Batcher) run(items []batcherItem) {
-	reqs := make([]CommitRequest, len(items))
+func (b *Batcher[Q, R]) run(items []batcherItem[Q, R]) {
+	reqs := make([]Q, len(items))
 	for i := range items {
 		reqs[i] = items[i].req
 	}
 	results, err := b.decide(reqs)
+	var zero R
 	for i := range items {
 		if err != nil {
-			items[i].done(CommitResult{}, err)
+			items[i].done(zero, err)
 		} else {
 			items[i].done(results[i], nil)
 		}
@@ -152,7 +171,7 @@ func (b *Batcher) run(items []batcherItem) {
 // Stop shuts the loop down. In-flight submissions complete (their requests
 // are drained and failed with ErrBatcherStopped if undecided); submissions
 // after Stop fail immediately.
-func (b *Batcher) Stop() {
+func (b *Batcher[Q, R]) Stop() {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()

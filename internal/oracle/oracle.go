@@ -210,9 +210,28 @@ func (s *StatusOracle) Abort(startTS uint64) error {
 }
 
 // Query reports the status of the transaction with the given start
-// timestamp; readers use it to decide snapshot visibility (§2.2).
+// timestamp; readers use it to decide snapshot visibility (§2.2). Like
+// Commit, it is a batch of one: high-volume readers should prefer
+// QueryBatch, which resolves many lookups per commit-table lock pass.
 func (s *StatusOracle) Query(startTS uint64) TxnStatus {
+	s.stats.applyQueryBatch(1)
 	return s.table.query(startTS)
+}
+
+// QueryBatch resolves the status of many transactions in one pass: each
+// covered commit-table shard is read-locked once for the whole batch.
+// result[i] answers startTSs[i], bit-identical to a serial Query call.
+// Because the commit table is striped and queries take only read locks,
+// batches of status lookups proceed concurrently with each other and with
+// the batched commit path.
+func (s *StatusOracle) QueryBatch(startTSs []uint64) []TxnStatus {
+	out := make([]TxnStatus, len(startTSs))
+	if len(startTSs) == 0 {
+		return out
+	}
+	s.table.queryBatch(startTSs, out)
+	s.stats.applyQueryBatch(int64(len(startTSs)))
+	return out
 }
 
 // Subscribe registers for commit/abort notifications; clients use the

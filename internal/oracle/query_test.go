@@ -1,0 +1,225 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// TestQueryBatchMatchesSerial asserts the batched status-lookup path is
+// bit-identical to element-wise Query calls over the same quiescent oracle
+// state: committed, aborted, pending, and — with a bounded commit table —
+// evicted (unknown) transactions, across varying batch sizes and duplicate
+// lookups.
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	for _, maxCommits := range []int{0, 32} {
+		name := "unbounded"
+		if maxCommits > 0 {
+			name = "bounded"
+		}
+		t.Run(name, func(t *testing.T) {
+			so := newOracle(t, Config{Engine: WSI, MaxCommits: maxCommits})
+			rng := rand.New(rand.NewSource(9))
+			var universe []uint64
+			for i := 0; i < 300; i++ {
+				ts := mustBegin(t, so)
+				universe = append(universe, ts)
+				switch rng.Intn(8) {
+				case 0:
+					if err := so.Abort(ts); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					// Stays pending.
+				default:
+					mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: []RowID{RowID(i)}})
+				}
+			}
+			// Sample batches of every shape: singletons, duplicates,
+			// never-seen timestamps, whole-universe sweeps.
+			universe = append(universe, 1<<40, 0, universe[0])
+			for trial := 0; trial < 50; trial++ {
+				n := 1 + rng.Intn(len(universe))
+				batch := make([]uint64, n)
+				for i := range batch {
+					batch[i] = universe[rng.Intn(len(universe))]
+				}
+				got := so.QueryBatch(batch)
+				if len(got) != n {
+					t.Fatalf("QueryBatch returned %d results for %d lookups", len(got), n)
+				}
+				for i, ts := range batch {
+					if want := so.Query(ts); got[i] != want {
+						t.Fatalf("trial %d lookup %d (ts %d): batch %+v, serial %+v",
+							trial, i, ts, got[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBatchEmpty covers the degenerate shapes.
+func TestQueryBatchEmpty(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	if out := so.QueryBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	if st := so.Stats(); st.QueryBatches != 0 {
+		t.Fatalf("empty batch counted: QueryBatches = %d", st.QueryBatches)
+	}
+}
+
+// TestQueryStatsMirrorCommitSide checks the read counters: Queries counts
+// per lookup, QueryBatches per invocation (serial Query is a batch of one),
+// and the average describes the achieved distribution.
+func TestQueryStatsMirrorCommitSide(t *testing.T) {
+	so := newOracle(t, Config{Engine: WSI})
+	ts := mustBegin(t, so)
+	mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: []RowID{1}})
+	so.Query(ts)
+	so.QueryBatch([]uint64{ts, ts, ts})
+	st := so.Stats()
+	if st.Queries != 4 || st.QueryBatches != 2 {
+		t.Fatalf("Queries = %d QueryBatches = %d, want 4 and 2", st.Queries, st.QueryBatches)
+	}
+	if st.QueryBatchSizeAvg != 2 {
+		t.Fatalf("QueryBatchSizeAvg = %v, want 2", st.QueryBatchSizeAvg)
+	}
+}
+
+// TestChaosQueryBatchAgainstCommits runs concurrent QueryBatch traffic
+// against CommitBatch, Abort and commit-table eviction under the race
+// detector, asserting the snapshot-visibility invariant: once a commit is
+// acknowledged, no reader holding a later start timestamp may find it
+// invisible — a lookup answers Committed with the acknowledged timestamp,
+// or (only when the bounded table may have evicted it) Unknown; never
+// Pending, never Aborted, never a different commit timestamp.
+func TestChaosQueryBatchAgainstCommits(t *testing.T) {
+	for _, maxCommits := range []int{0, 64} {
+		name := "unbounded"
+		if maxCommits > 0 {
+			name = "bounded"
+		}
+		t.Run(name, func(t *testing.T) {
+			so := newOracle(t, Config{Engine: WSI, MaxRows: 128, MaxCommits: maxCommits, TSO: tso.New(0, nil)})
+			type acked struct{ start, commit uint64 }
+			var (
+				mu    sync.Mutex
+				log   []acked
+				wg    sync.WaitGroup
+				fail  = make(chan string, 1)
+				abort = func(msg string) {
+					select {
+					case fail <- msg:
+					default:
+					}
+				}
+			)
+			const committers, readers, rounds, batch = 4, 4, 60, 8
+
+			for g := 0; g < committers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for r := 0; r < rounds; r++ {
+						reqs := make([]CommitRequest, batch)
+						for i := range reqs {
+							ts, err := so.Begin()
+							if err != nil {
+								abort(err.Error())
+								return
+							}
+							reqs[i] = CommitRequest{StartTS: ts}
+							// Occasional explicit abort instead of a commit
+							// submission, exercising the aborted set.
+							if rng.Intn(8) == 0 {
+								if err := so.Abort(ts); err != nil {
+									abort(err.Error())
+									return
+								}
+								continue
+							}
+							for j := 0; j < 1+rng.Intn(3); j++ {
+								reqs[i].WriteSet = append(reqs[i].WriteSet, RowID(rng.Intn(512)))
+							}
+						}
+						res, err := so.CommitBatch(reqs)
+						if err != nil {
+							abort(err.Error())
+							return
+						}
+						mu.Lock()
+						for i := range res {
+							if res[i].Committed && len(reqs[i].WriteSet) > 0 {
+								log = append(log, acked{start: reqs[i].StartTS, commit: res[i].CommitTS})
+							}
+						}
+						mu.Unlock()
+					}
+				}(g)
+			}
+
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(1000 + g)))
+					for r := 0; r < rounds; r++ {
+						// Sample commits acknowledged before our snapshot.
+						mu.Lock()
+						n := len(log)
+						var sample []acked
+						if n > 0 {
+							for i := 0; i < 1+rng.Intn(batch); i++ {
+								sample = append(sample, log[rng.Intn(n)])
+							}
+						}
+						mu.Unlock()
+						if len(sample) == 0 {
+							continue
+						}
+						// A fresh start timestamp is strictly above every
+						// sampled commit timestamp (§2: entries are published
+						// inside the TSO critical section).
+						if _, err := so.Begin(); err != nil {
+							abort(err.Error())
+							return
+						}
+						tss := make([]uint64, len(sample))
+						for i := range sample {
+							tss[i] = sample[i].start
+						}
+						got := so.QueryBatch(tss)
+						for i, st := range got {
+							switch st.Status {
+							case StatusCommitted:
+								if st.CommitTS != sample[i].commit {
+									abort("commit timestamp changed")
+									return
+								}
+							case StatusUnknown:
+								if maxCommits == 0 {
+									abort("unbounded table reported unknown")
+									return
+								}
+							default:
+								abort("acknowledged commit invisible: " + st.Status.String())
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			select {
+			case msg := <-fail:
+				t.Fatal(msg)
+			default:
+			}
+		})
+	}
+}

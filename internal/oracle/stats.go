@@ -1,6 +1,9 @@
 package oracle
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats is a snapshot of the status oracle's counters. TmaxAborts counts
 // the pessimistic aborts of Algorithm 3 line 8 — transactions aborted not
@@ -14,15 +17,24 @@ import "sync"
 // one), and BatchSizeAvg is the mean number of write transactions per such
 // batch — together they describe the batch-size distribution the coalescing
 // layers achieve.
+// The read side mirrors the commit side: Queries counts status lookups per
+// lookup regardless of how they reach the oracle (a QueryBatch of 64 moves
+// it 64 times; serial Query is a batch of one), QueryBatches counts
+// QueryBatch invocations carrying at least one lookup, and
+// QueryBatchSizeAvg is the mean lookups per batch — the batch-size
+// distribution the read-coalescing layers achieve.
 type Stats struct {
-	Begins          int64
-	Commits         int64
-	ReadOnlyCommits int64
-	ConflictAborts  int64
-	TmaxAborts      int64
-	ExplicitAborts  int64
-	Batches         int64
-	BatchSizeAvg    float64
+	Begins            int64
+	Commits           int64
+	ReadOnlyCommits   int64
+	ConflictAborts    int64
+	TmaxAborts        int64
+	ExplicitAborts    int64
+	Batches           int64
+	BatchSizeAvg      float64
+	Queries           int64
+	QueryBatches      int64
+	QueryBatchSizeAvg float64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in
@@ -41,6 +53,12 @@ type statsCollector struct {
 	mu        sync.Mutex
 	s         Stats
 	batchTxns int64 // write transactions across all batches
+
+	// The read-path counters are atomics, not mutex-guarded: status
+	// lookups are the contention-free path the striped commit table
+	// exists for, and a shared stats mutex would re-serialize it.
+	queries      atomic.Int64
+	queryBatches atomic.Int64
 }
 
 func (c *statsCollector) begin() {
@@ -72,12 +90,24 @@ func (c *statsCollector) applyBatch(readOnly, commits, conflictAborts, tmaxAbort
 	c.mu.Unlock()
 }
 
+// applyQueryBatch records one QueryBatch invocation of n lookups (serial
+// Query is a batch of one).
+func (c *statsCollector) applyQueryBatch(n int64) {
+	c.queries.Add(n)
+	c.queryBatches.Add(1)
+}
+
 func (c *statsCollector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.s
 	if s.Batches > 0 {
 		s.BatchSizeAvg = float64(c.batchTxns) / float64(s.Batches)
+	}
+	s.Queries = c.queries.Load()
+	s.QueryBatches = c.queryBatches.Load()
+	if s.QueryBatches > 0 {
+		s.QueryBatchSizeAvg = float64(s.Queries) / float64(s.QueryBatches)
 	}
 	return s
 }

@@ -41,6 +41,14 @@ type Subscribing interface {
 	Subscribe(buffer int) *oracle.Subscription
 }
 
+// BatchQuerier is implemented by arbiters that can resolve many status
+// lookups in one call (*oracle.StatusOracle in-process, *netsrv.Client over
+// the wire — one frame instead of one per lookup). The read path batches
+// through it when available and falls back to serial Query calls otherwise.
+type BatchQuerier interface {
+	QueryBatch(startTSs []uint64) []oracle.TxnStatus
+}
+
 // Forgetting is implemented by arbiters that support garbage-collecting
 // aborted-transaction records after client cleanup.
 type Forgetting interface {
@@ -202,32 +210,112 @@ func (c *Client) Begin() (*Txn, error) {
 // Store returns the underlying store (examples use it for direct loads).
 func (c *Client) Store() *kvstore.Store { return c.store }
 
+// versionRef names one store version whose writer's commit status a reader
+// needs: the row key (write-back mode resolves from the key's shadow cell)
+// and the version's write (start) timestamp.
+type versionRef struct {
+	key     string
+	writeTS uint64
+}
+
 // resolve determines the commit status of the transaction that wrote
-// version writeTS of key.
+// version writeTS of key. It is a resolveBatch of one, sharing the
+// per-mode decision path.
 func (c *Client) resolve(key string, writeTS uint64) oracle.TxnStatus {
+	var out [1]oracle.TxnStatus
+	c.resolveInto([]versionRef{{key: key, writeTS: writeTS}}, out[:])
+	return out[0]
+}
+
+// resolveBatch determines the commit status of every referenced version's
+// writer, collapsing all oracle lookups into a single QueryBatch round trip.
+// Per-mode semantics (§2.2) are identical to serial resolve calls: the
+// local sources — the replica cache in ModeReplica, shadow cells in
+// ModeWriteBack — are consulted per version first, and only the leftovers
+// go to the oracle, deduplicated by write timestamp (one transaction's
+// status answers every row it wrote).
+func (c *Client) resolveBatch(refs []versionRef) []oracle.TxnStatus {
+	out := make([]oracle.TxnStatus, len(refs))
+	c.resolveInto(refs, out)
+	return out
+}
+
+// resolveInto is resolveBatch with a caller-supplied result slice.
+func (c *Client) resolveInto(refs []versionRef, out []oracle.TxnStatus) {
+	// Stack-backed index buffer keeps single-version reads off the heap.
+	var needBuf [16]int
+	need := needBuf[:0]
 	switch c.cfg.Mode {
 	case ModeReplica:
-		if st, ok := c.replica.lookup(writeTS); ok {
-			return st
+		for i := range refs {
+			if st, ok := c.replica.lookup(refs[i].writeTS); ok {
+				out[i] = st
+			} else {
+				need = append(need, i)
+			}
 		}
-		return c.so.Query(writeTS)
 	case ModeWriteBack:
-		if tc, ok := c.store.GetShadow(key, writeTS); ok {
-			return oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: tc}
+		for i := range refs {
+			if tc, ok := c.store.GetShadow(refs[i].key, refs[i].writeTS); ok {
+				out[i] = oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: tc}
+			} else {
+				need = append(need, i)
+			}
 		}
-		st := c.so.Query(writeTS)
-		if st.Status == oracle.StatusUnknown {
-			// Evicted from the commit table with no shadow cell:
-			// the writer never completed its write-back, so its
-			// client was either never acknowledged or crashed
-			// mid-write-back; treating the version as invisible
-			// is safe (§2.2, Appendix A).
-			return oracle.TxnStatus{Status: oracle.StatusAborted}
-		}
-		return st
 	default:
-		return c.so.Query(writeTS)
+		for i := range refs {
+			need = append(need, i)
+		}
 	}
+	if len(need) == 0 {
+		return
+	}
+	if len(need) == 1 {
+		// Single unresolved version — the common Get shape: a direct
+		// query, no dedup bookkeeping, no allocation.
+		i := need[0]
+		out[i] = c.applyWriteBackRule(c.so.Query(refs[i].writeTS))
+		return
+	}
+	// One oracle round trip for every unresolved write timestamp.
+	pos := make(map[uint64]int, len(need))
+	startTSs := make([]uint64, 0, len(need))
+	for _, i := range need {
+		if _, ok := pos[refs[i].writeTS]; !ok {
+			pos[refs[i].writeTS] = len(startTSs)
+			startTSs = append(startTSs, refs[i].writeTS)
+		}
+	}
+	statuses := c.queryBatch(startTSs)
+	for _, i := range need {
+		out[i] = c.applyWriteBackRule(statuses[pos[refs[i].writeTS]])
+	}
+}
+
+// applyWriteBackRule maps an oracle answer through ModeWriteBack's
+// unknown-means-aborted rule: a transaction evicted from the commit table
+// with no shadow cell never completed its write-back, so its client was
+// either never acknowledged or crashed mid-write-back; treating the
+// version as invisible is safe (§2.2, Appendix A). Other modes pass
+// through unchanged.
+func (c *Client) applyWriteBackRule(st oracle.TxnStatus) oracle.TxnStatus {
+	if c.cfg.Mode == ModeWriteBack && st.Status == oracle.StatusUnknown {
+		return oracle.TxnStatus{Status: oracle.StatusAborted}
+	}
+	return st
+}
+
+// queryBatch asks the arbiter for many statuses at once, falling back to
+// serial Query calls when the arbiter cannot batch.
+func (c *Client) queryBatch(startTSs []uint64) []oracle.TxnStatus {
+	if bq, ok := c.so.(BatchQuerier); ok {
+		return bq.QueryBatch(startTSs)
+	}
+	out := make([]oracle.TxnStatus, len(startTSs))
+	for i, ts := range startTSs {
+		out[i] = c.so.Query(ts)
+	}
+	return out
 }
 
 // forget drops an aborted transaction's oracle record after cleanup.

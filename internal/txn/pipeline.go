@@ -39,7 +39,7 @@ type CommitOutcome struct {
 // serial Commits when the arbiter cannot batch), and a client can keep many
 // batches in flight.
 type commitPipeliner struct {
-	b *oracle.Batcher
+	b *oracle.Batcher[oracle.CommitRequest, oracle.CommitResult]
 }
 
 func newCommitPipeliner(arb Arbiter, maxBatch int, maxDelay time.Duration) *commitPipeliner {

@@ -19,8 +19,16 @@ type replicaCache struct {
 	mu      sync.RWMutex
 	commits map[uint64]uint64
 	aborted map[uint64]struct{}
-	order   []uint64
-	window  int
+	// order is a fixed-capacity ring of the last `window` event start
+	// timestamps (allocated once, len == window): head indexes the
+	// oldest entry and n counts the live ones. A ring — rather than a
+	// slice evicted with order = order[1:] — keeps the eviction window's
+	// memory bounded at exactly `window` slots forever instead of
+	// repeatedly re-growing and copying the backing array.
+	order  []uint64
+	head   int
+	n      int
+	window int
 
 	wg sync.WaitGroup
 }
@@ -31,6 +39,9 @@ func newReplicaCache(sub *oracle.Subscription, window int) *replicaCache {
 		commits: make(map[uint64]uint64),
 		aborted: make(map[uint64]struct{}),
 		window:  window,
+	}
+	if window > 0 {
+		rc.order = make([]uint64, window)
 	}
 	rc.wg.Add(1)
 	go rc.drain()
@@ -47,12 +58,17 @@ func (rc *replicaCache) drain() {
 			rc.aborted[e.StartTS] = struct{}{}
 		}
 		if rc.window > 0 {
-			rc.order = append(rc.order, e.StartTS)
-			for len(rc.order) > rc.window {
-				old := rc.order[0]
-				rc.order = rc.order[1:]
+			if rc.n == rc.window {
+				// Full: overwrite the oldest slot, evicting its
+				// entry, and advance the ring head.
+				old := rc.order[rc.head]
 				delete(rc.commits, old)
 				delete(rc.aborted, old)
+				rc.order[rc.head] = e.StartTS
+				rc.head = (rc.head + 1) % rc.window
+			} else {
+				rc.order[(rc.head+rc.n)%rc.window] = e.StartTS
+				rc.n++
 			}
 		}
 		rc.mu.Unlock()

@@ -1,0 +1,92 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+)
+
+// TestReplicaCacheRingBoundedMemory pins the sliding-window fix: the
+// eviction ring is allocated once at exactly `window` slots and never
+// regrows, the cache retains precisely the last `window` events, and
+// evicted entries miss (forcing the query fallback) while retained ones
+// hit.
+func TestReplicaCacheRingBoundedMemory(t *testing.T) {
+	const window, events = 64, 1000
+	bc := oracle.NewLocalBroadcaster()
+	sub := bc.Subscribe(events) // large buffer: no event may be dropped
+	rc := newReplicaCache(sub, window)
+	defer rc.close()
+
+	for i := 1; i <= events; i++ {
+		if i%10 == 0 {
+			bc.Publish(oracle.Event{StartTS: uint64(i)}) // abort
+		} else {
+			bc.Publish(oracle.Event{StartTS: uint64(i), CommitTS: uint64(i + events)})
+		}
+	}
+	// The drain goroutine applies events asynchronously; wait for the last.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := rc.lookup(uint64(events)); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never applied the last event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := rc.size(); got != window {
+		t.Fatalf("cache holds %d entries after %d events, want exactly %d", got, events, window)
+	}
+	rc.mu.RLock()
+	length, capacity := len(rc.order), cap(rc.order)
+	rc.mu.RUnlock()
+	if length != window || capacity != window {
+		t.Fatalf("ring len/cap = %d/%d, want %d/%d (bounded, never regrown)", length, capacity, window, window)
+	}
+	// Everything outside the window is evicted; everything inside hits.
+	if _, ok := rc.lookup(1); ok {
+		t.Fatal("evicted entry still cached")
+	}
+	if _, ok := rc.lookup(uint64(events - window)); ok {
+		t.Fatalf("entry %d outside the window still cached", events-window)
+	}
+	for i := events - window + 1; i <= events; i++ {
+		st, ok := rc.lookup(uint64(i))
+		if !ok {
+			t.Fatalf("entry %d inside the window missing", i)
+		}
+		if i%10 == 0 {
+			if st.Status != oracle.StatusAborted {
+				t.Fatalf("entry %d = %+v, want aborted", i, st)
+			}
+		} else if st.Status != oracle.StatusCommitted || st.CommitTS != uint64(i+events) {
+			t.Fatalf("entry %d = %+v, want committed at %d", i, st, i+events)
+		}
+	}
+}
+
+// TestReplicaCacheUnboundedKeepsAll checks window <= 0 still means "keep
+// everything" after the ring rewrite.
+func TestReplicaCacheUnboundedKeepsAll(t *testing.T) {
+	bc := oracle.NewLocalBroadcaster()
+	sub := bc.Subscribe(256)
+	rc := newReplicaCache(sub, 0)
+	defer rc.close()
+	for i := 1; i <= 200; i++ {
+		bc.Publish(oracle.Event{StartTS: uint64(i), CommitTS: uint64(i + 1000)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rc.size() < 200 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cache holds %d entries, want 200", rc.size())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := rc.lookup(1); !ok {
+		t.Fatal("unbounded cache evicted an entry")
+	}
+}

@@ -96,12 +96,33 @@ func (t *Txn) Get(key string) (value []byte, ok bool, err error) {
 // later-committing transaction is the current one (§4.1: a transaction
 // "writes into a separate snapshot of the database specified by the
 // transaction commit timestamp"). Pending, aborted and unknown writers are
-// skipped (§2.2).
+// skipped (§2.2). All of the row's candidate versions are resolved in one
+// batched status lookup.
 func (t *Txn) snapshotRead(key string) (raw []byte, found bool) {
 	versions := t.client.store.Get(key, t.startTS, 0)
+	if len(versions) == 0 {
+		return nil, false
+	}
+	// Stack-backed buffers keep short version chains — the common Get
+	// shape — off the heap.
+	var refsBuf [8]versionRef
+	var statusBuf [8]oracle.TxnStatus
+	var refs []versionRef
+	var statuses []oracle.TxnStatus
+	if len(versions) <= len(refsBuf) {
+		refs = refsBuf[:0]
+		statuses = statusBuf[:len(versions)]
+	} else {
+		refs = make([]versionRef, 0, len(versions))
+		statuses = make([]oracle.TxnStatus, len(versions))
+	}
+	for i := range versions {
+		refs = append(refs, versionRef{key: key, writeTS: versions[i].TS})
+	}
+	t.client.resolveInto(refs, statuses)
 	var bestTC uint64
 	for i := range versions {
-		st := t.client.resolve(key, versions[i].TS)
+		st := statuses[i]
 		if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
 			bestTC = st.CommitTS
 			raw = versions[i].Value
@@ -109,6 +130,71 @@ func (t *Txn) snapshotRead(key string) (raw []byte, found bool) {
 		}
 	}
 	return raw, found
+}
+
+// GetMulti reads many keys from the snapshot in one pass: the store fetch
+// is grouped by region (one region-lock acquisition per covered region) and
+// every unresolved writer across the whole read set is resolved in a single
+// batched status lookup — one oracle round trip instead of one per version.
+// values[i] and ok[i] answer keys[i] with Get's exact semantics; the whole
+// set joins the read set.
+func (t *Txn) GetMulti(keys []string) (values [][]byte, ok []bool, err error) {
+	if t.done {
+		return nil, nil, ErrClosed
+	}
+	values = make([][]byte, len(keys))
+	ok = make([]bool, len(keys))
+	// Own writes answer immediately; the store is consulted for the rest.
+	fetch := make([]string, 0, len(keys))
+	fetchIdx := make([]int, 0, len(keys))
+	for i, key := range keys {
+		t.reads[key] = struct{}{}
+		if v, mine := t.writes[key]; mine {
+			if v != nil {
+				values[i] = append([]byte(nil), v...)
+				ok[i] = true
+			}
+			continue
+		}
+		fetch = append(fetch, key)
+		fetchIdx = append(fetchIdx, i)
+	}
+	if len(fetch) == 0 {
+		return values, ok, nil
+	}
+	perKey := t.client.store.MultiGet(fetch, t.startTS, 0)
+	// Collect every candidate version across the read set and resolve the
+	// writers in one batch; offsets[k] marks where key k's versions start.
+	refs := make([]versionRef, 0, len(fetch))
+	offsets := make([]int, len(fetch)+1)
+	for k, versions := range perKey {
+		for i := range versions {
+			refs = append(refs, versionRef{key: fetch[k], writeTS: versions[i].TS})
+		}
+		offsets[k+1] = len(refs)
+	}
+	statuses := t.client.resolveBatch(refs)
+	for k, versions := range perKey {
+		var bestTC uint64
+		var raw []byte
+		found := false
+		for i := range versions {
+			st := statuses[offsets[k]+i]
+			if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
+				bestTC = st.CommitTS
+				raw = versions[i].Value
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		if val, live := decodeValue(raw); live {
+			values[fetchIdx[k]] = append([]byte(nil), val...)
+			ok[fetchIdx[k]] = true
+		}
+	}
+	return values, ok, nil
 }
 
 // Put writes key=value, visible to this transaction immediately and to
@@ -184,19 +270,33 @@ func (t *Txn) scan(startKey, endKey string, limit int, buckets bool) ([]KV, erro
 		}
 	}
 	rows := t.client.store.Scan(startKey, endKey, t.startTS, 0, 0)
-	merged := make(map[string][]byte, len(rows))
-	for _, r := range rows {
+	// Resolve every candidate writer across the scanned range in one
+	// batched status lookup; offsets[i] marks where row i's versions
+	// start (own-written rows contribute none — their buffer overrides).
+	refs := make([]versionRef, 0, len(rows))
+	offsets := make([]int, len(rows)+1)
+	for i, r := range rows {
 		if !buckets {
 			t.reads[r.Key] = struct{}{}
 		}
+		if _, mine := t.writes[r.Key]; !mine {
+			for _, v := range r.Versions {
+				refs = append(refs, versionRef{key: r.Key, writeTS: v.TS})
+			}
+		}
+		offsets[i+1] = len(refs)
+	}
+	statuses := t.client.resolveBatch(refs)
+	merged := make(map[string][]byte, len(rows))
+	for i, r := range rows {
 		if _, mine := t.writes[r.Key]; mine {
 			continue // own write overrides
 		}
 		// Same selection rule as snapshotRead: the committed version
 		// with the largest commit timestamp below the snapshot.
 		var bestTC uint64
-		for _, v := range r.Versions {
-			st := t.client.resolve(r.Key, v.TS)
+		for j, v := range r.Versions {
+			st := statuses[offsets[i]+j]
 			if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
 				bestTC = st.CommitTS
 				if val, live := decodeValue(v.Value); live {
