@@ -6,11 +6,28 @@
 //
 // Usage:
 //
-//	oracle-server -addr :7070 -engine wsi -wal /var/lib/wsi/wal.log
+//	oracle-server -addr :7070 -engine wsi -wal /var/lib/wsi/wal.log \
+//	    -checkpoint-interval 10s
 //
 // With -wal the oracle persists every decision to a file-backed ledger and
-// recovers from it on restart, reproducing the Appendix A failover story on
-// a single machine. Without -wal the oracle is memory-only.
+// recovers from it on restart; with -checkpoint-interval it periodically
+// snapshots the commit table into the same log, so recovery replays only
+// the suffix after the latest checkpoint instead of the whole history.
+// On SIGTERM/SIGINT the server stops accepting, drains in-flight requests,
+// flushes the WAL and writes a final checkpoint, so the next start
+// recovers instantly.
+//
+// A second instance can run as a hot standby on the same machine:
+//
+//	oracle-server -addr :7071 -standby -follow /var/lib/wsi/wal.log \
+//	    -wal /var/lib/wsi/standby-wal.log
+//
+// The standby tails the primary's ledger into a shadow commit table and
+// rejects requests until a client issues the promote operation
+// (netsrv.Client.Promote). Promotion seals the primary's ledger — fencing
+// it BookKeeper-style, so a still-running primary can no longer
+// acknowledge commits — drains the tail, resumes the timestamp epoch, and
+// starts serving from its own WAL, whose first record is a full checkpoint.
 package main
 
 import (
@@ -22,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ha"
 	"repro/internal/netsrv"
 	"repro/internal/oracle"
 	"repro/internal/tso"
@@ -39,6 +57,11 @@ func main() {
 
 		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
 		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
+
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "write a commit-table checkpoint this often (0 = off; requires -wal)")
+		standby      = flag.Bool("standby", false, "run as a hot standby tailing -follow; serve only after a promote request")
+		follow       = flag.String("follow", "", "primary WAL ledger to tail (with -standby)")
+		pollEvery    = flag.Duration("poll", 20*time.Millisecond, "standby tail poll interval (with -standby)")
 	)
 	flag.Parse()
 
@@ -52,59 +75,169 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oracle-server: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	cfg := oracle.Config{Engine: eng, MaxRows: *maxRows, Shards: *shards}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *standby {
+		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, sig)
+		return
+	}
+	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, sig)
+}
+
+// configureCoalescing applies the coalescer knobs to a server.
+func configureCoalescing(srv *netsrv.Server, coalesce int, delay time.Duration) {
+	if coalesce > 0 {
+		srv.CoalesceMaxBatch = coalesce
+		srv.CoalesceMaxDelay = delay
+		log.Printf("oracle-server: coalescing up to %d commits/queries per batch (max delay %v)", coalesce, delay)
+	}
+}
+
+func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, sig chan os.Signal) {
 	var (
-		so  *oracle.StatusOracle
-		err error
+		so     *oracle.StatusOracle
+		writer *wal.Writer
+		ledger *wal.FileLedger
+		err    error
 	)
-	if *walPath != "" {
-		ledger, err := wal.OpenFileLedger(*walPath, *fsync)
+	if walPath != "" {
+		ledger, err = wal.OpenFileLedger(walPath, fsync)
 		if err != nil {
 			log.Fatalf("oracle-server: open wal: %v", err)
 		}
-		defer ledger.Close()
-		writer, err := wal.NewWriter(wal.DefaultConfig(), ledger)
+		writer, err = wal.NewWriter(wal.DefaultConfig(), ledger)
 		if err != nil {
 			log.Fatalf("oracle-server: wal writer: %v", err)
 		}
-		defer writer.Close()
-		clock, err := tso.Recover(0, ledger, writer)
-		if err != nil {
-			log.Fatalf("oracle-server: recover timestamps: %v", err)
-		}
-		so, err = oracle.Recover(oracle.Config{
-			Engine: eng, MaxRows: *maxRows, Shards: *shards, WAL: writer, TSO: clock,
-		}, ledger)
+		so, _, err = oracle.RecoverState(cfg, ledger, writer, 0)
 		if err != nil {
 			log.Fatalf("oracle-server: recover state: %v", err)
 		}
-		log.Printf("oracle-server: recovered state from %s", *walPath)
+		st := so.Stats()
+		log.Printf("oracle-server: recovered from %s: %d records replayed after checkpoint (bound %d) in %v",
+			walPath, st.ReplayedRecords, st.LastCheckpointTS, time.Duration(st.RecoveryNanos))
 	} else {
-		so, err = oracle.New(oracle.Config{
-			Engine: eng, MaxRows: *maxRows, Shards: *shards, TSO: tso.New(0, nil),
-		})
+		so, err = oracle.New(oracle.Config{Engine: cfg.Engine, MaxRows: cfg.MaxRows, Shards: cfg.Shards, TSO: tso.New(0, nil)})
 		if err != nil {
 			log.Fatalf("oracle-server: %v", err)
 		}
 	}
 
-	srv := netsrv.NewServer(so)
-	if *coalesce > 0 {
-		srv.CoalesceMaxBatch = *coalesce
-		srv.CoalesceMaxDelay = *coalesceDelay
-		log.Printf("oracle-server: coalescing up to %d commits/queries per batch (max delay %v)", *coalesce, *coalesceDelay)
+	var ckpt *ha.Checkpointer
+	if ckptInterval > 0 {
+		if writer == nil {
+			log.Fatalf("oracle-server: -checkpoint-interval requires -wal")
+		}
+		ckpt = ha.StartCheckpointer(so, ckptInterval)
+		log.Printf("oracle-server: checkpointing every %v", ckptInterval)
 	}
-	bound, err := srv.Listen(*addr)
+
+	srv := netsrv.NewServer(so)
+	configureCoalescing(srv, coalesce, coalesceDelay)
+	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)
 	}
-	log.Printf("oracle-server: %s engine serving on %s", eng, bound)
+	log.Printf("oracle-server: %s engine serving on %s", cfg.Engine, bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful shutdown: stop accepting and drain in-flight requests,
+	// then make the log instantly recoverable — flush buffered appends
+	// and write a final checkpoint so the next start replays nothing.
 	log.Printf("oracle-server: shutting down; stats: %+v", so.Stats())
 	if err := srv.Close(); err != nil {
 		log.Printf("oracle-server: close: %v", err)
+	}
+	if ckpt != nil {
+		ckpt.Stop()
+	}
+	if writer != nil {
+		writer.Flush()
+		if err := so.Checkpoint(); err != nil {
+			log.Printf("oracle-server: final checkpoint: %v", err)
+		} else {
+			log.Printf("oracle-server: final checkpoint written")
+		}
+		writer.Close()
+	}
+	if ledger != nil {
+		ledger.Close()
+	}
+}
+
+func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, sig chan os.Signal) {
+	if follow == "" {
+		log.Fatalf("oracle-server: -standby requires -follow <primary wal>")
+	}
+	reader, err := wal.OpenFileLedgerReader(follow)
+	if err != nil {
+		log.Fatalf("oracle-server: open primary wal: %v", err)
+	}
+	sb, err := ha.NewStandby(cfg, reader)
+	if err != nil {
+		log.Fatalf("oracle-server: standby: %v", err)
+	}
+	if n, err := sb.CatchUp(); err != nil {
+		log.Fatalf("oracle-server: initial catch-up: %v", err)
+	} else {
+		log.Printf("oracle-server: standby caught up: %d records applied", n)
+	}
+	sb.Start(pollEvery)
+
+	var promotedWriter *wal.Writer
+	var promotedSO *oracle.StatusOracle
+	srv := netsrv.NewStandbyServer(func() (*oracle.StatusOracle, error) {
+		// Fence the primary through a read-write handle on its ledger
+		// file: the durable seal marker fails the primary's next append
+		// even though it is a separate process.
+		fenceLedger, err := wal.OpenFileLedger(follow, fsync)
+		if err != nil {
+			return nil, fmt.Errorf("open primary wal for fencing: %w", err)
+		}
+		defer fenceLedger.Close()
+		var w *wal.Writer
+		if walPath != "" {
+			ownLedger, err := wal.OpenFileLedger(walPath, fsync)
+			if err != nil {
+				return nil, fmt.Errorf("open standby wal: %w", err)
+			}
+			w, err = wal.NewWriter(wal.DefaultConfig(), ownLedger)
+			if err != nil {
+				return nil, err
+			}
+		}
+		so, err := sb.Promote(ha.PromoteConfig{Fence: []wal.Ledger{fenceLedger}, WAL: w})
+		if err != nil {
+			return nil, err
+		}
+		promotedWriter, promotedSO = w, so
+		records, tsoBound := sb.Applied()
+		log.Printf("oracle-server: promoted to primary: %d records inherited, timestamp epoch resumes at %d", records, tsoBound)
+		return so, nil
+	})
+	configureCoalescing(srv, coalesce, coalesceDelay)
+	boundAddr, err := srv.Listen(addr)
+	if err != nil {
+		log.Fatalf("oracle-server: listen: %v", err)
+	}
+	log.Printf("oracle-server: %s engine hot standby on %s, tailing %s (promote to serve)", cfg.Engine, boundAddr, follow)
+
+	<-sig
+	log.Printf("oracle-server: shutting down standby")
+	if err := srv.Close(); err != nil {
+		log.Printf("oracle-server: close: %v", err)
+	}
+	sb.Stop()
+	if promotedWriter != nil {
+		promotedWriter.Flush()
+		if promotedSO != nil {
+			if err := promotedSO.Checkpoint(); err != nil {
+				log.Printf("oracle-server: final checkpoint: %v", err)
+			}
+		}
+		promotedWriter.Close()
 	}
 }

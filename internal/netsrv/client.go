@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/oracle"
 )
@@ -15,14 +16,29 @@ import (
 // whether the oracle is in-process or remote. Any number of goroutines may
 // issue requests concurrently; they share one connection and are matched to
 // responses by request id.
+//
+// A client created with DialFailover additionally reconnects: when the
+// connection is lost, the next call re-dials the configured addresses in
+// round-robin order (so it finds the promoted standby after a failover).
+// Requests that were in flight when the connection died still fail — the
+// client never resubmits them, because a lost commit ack is in-doubt, not
+// retriable; the transaction layer resolves those by querying the status
+// of its start timestamp on the new primary.
 type Client struct {
-	addr string
+	addr  string
+	addrs []string // failover set; empty disables reconnection
+
+	// reconnectMu serializes reconnection attempts; it is taken WITHOUT
+	// c.mu so the dials never stall concurrent calls on a live
+	// connection, Close, or the read loop.
+	reconnectMu sync.Mutex
 
 	mu      sync.Mutex
 	conn    net.Conn
+	cur     int // index into addrs of the live connection
 	nextID  uint64
 	pending map[uint64]chan response
-	err     error // permanent failure
+	err     error // connection failure; reconnectable unless closed
 	closed  bool
 
 	subs   []*subConn
@@ -35,7 +51,8 @@ type response struct {
 	err     error
 }
 
-// Dial connects to a status oracle server.
+// Dial connects to a status oracle server. The returned client does not
+// reconnect; use DialFailover for that.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -44,6 +61,80 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{addr: addr, conn: conn, pending: make(map[uint64]chan response)}
 	go c.readLoop(conn)
 	return c, nil
+}
+
+// dialTimeout bounds each reconnection attempt so a dead address cannot
+// stall a failover longer than the next address would take to answer.
+const dialTimeout = time.Second
+
+// DialFailover connects to the first reachable address and fails over
+// across the whole set on connection loss. The set should list the primary
+// first and the standby (or standbys) after it.
+func DialFailover(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("netsrv: DialFailover needs at least one address")
+	}
+	var firstErr error
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c := &Client{addr: addr, addrs: addrs, cur: i, conn: conn, pending: make(map[uint64]chan response)}
+		go c.readLoop(conn)
+		return c, nil
+	}
+	return nil, fmt.Errorf("netsrv: no address reachable: %w", firstErr)
+}
+
+// reconnect re-dials the failover set starting after the address that
+// just failed. The dials run outside c.mu (under reconnectMu, so only one
+// goroutine sweeps the addresses at a time); c.mu is retaken only to
+// install the new connection. Returns nil once the client has a live
+// connection — whether established by this call or by a racing one.
+func (c *Client) reconnect() error {
+	c.reconnectMu.Lock()
+	defer c.reconnectMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.err == nil {
+		c.mu.Unlock()
+		return nil // a racing caller already reconnected
+	}
+	lastErr := c.err
+	cur := c.cur
+	addrs := c.addrs
+	c.mu.Unlock()
+
+	for i := 1; i <= len(addrs); i++ {
+		idx := (cur + i) % len(addrs)
+		conn, err := net.DialTimeout("tcp", addrs[idx], dialTimeout)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			err := c.err
+			c.mu.Unlock()
+			conn.Close()
+			return err
+		}
+		c.conn = conn
+		c.cur = idx
+		c.addr = addrs[idx]
+		c.err = nil
+		c.mu.Unlock()
+		go c.readLoop(conn)
+		return nil
+	}
+	return lastErr
 }
 
 // Close tears down the connection and any subscription connections.
@@ -78,19 +169,25 @@ func (c *Client) failLocked(err error) {
 }
 
 func (c *Client) readLoop(conn net.Conn) {
+	// failConn fails pending calls only while conn is still the client's
+	// live connection: after a reconnect, a stale read loop unwinding on
+	// the old conn must not clobber the new one's state.
+	failConn := func(err error) {
+		c.mu.Lock()
+		if c.conn == conn {
+			c.failLocked(err)
+		}
+		c.mu.Unlock()
+	}
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
-			c.mu.Lock()
-			c.failLocked(fmt.Errorf("netsrv: connection lost: %w", err))
-			c.mu.Unlock()
+			failConn(fmt.Errorf("netsrv: connection lost: %w", err))
 			return
 		}
 		reqID, code, payload, err := splitResponse(body)
 		if err != nil {
-			c.mu.Lock()
-			c.failLocked(err)
-			c.mu.Unlock()
+			failConn(err)
 			return
 		}
 		c.mu.Lock()
@@ -103,15 +200,32 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
-// call issues one request and waits for its response.
+// call issues one request and waits for its response. On a lost
+// connection, a failover client re-dials its address set first; the call
+// then proceeds on the new connection (it was never sent on the old one,
+// so no request is ever submitted twice).
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.err != nil {
-		err := c.err
+		if c.closed || len(c.addrs) == 0 {
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
 		c.mu.Unlock()
-		return nil, err
+		if err := c.reconnect(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.err != nil {
+			// The fresh connection died before we could use it.
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
 	}
+	conn := c.conn
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
@@ -119,13 +233,14 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(body[:8], id)
 	body[8] = op
 	body = append(body, payload...)
-	err := writeFrame(c.conn, body)
+	err := writeFrame(conn, body)
 	if err != nil {
 		delete(c.pending, id)
-		c.failLocked(fmt.Errorf("netsrv: write: %w", err))
-		err = c.err
+		if c.conn == conn {
+			c.failLocked(fmt.Errorf("netsrv: write: %w", err))
+		}
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("netsrv: write: %w", err)
 	}
 	c.mu.Unlock()
 
@@ -232,6 +347,49 @@ func (c *Client) Stats() (oracle.Stats, error) {
 		return oracle.Stats{}, err
 	}
 	return decodeStats(payload)
+}
+
+// Health reports the server's role: "primary" when it serves an oracle,
+// "standby" before promotion.
+func (c *Client) Health() (string, error) {
+	payload, err := c.call(opHealth, nil)
+	if err != nil {
+		return "", err
+	}
+	if len(payload) != 1 {
+		return "", ErrBadFrame
+	}
+	if payload[0] == rolePrimary {
+		return "primary", nil
+	}
+	return "standby", nil
+}
+
+// Promote asks a standby server to run its fenced promotion and begin
+// serving. Idempotent against an already-serving server.
+func (c *Client) Promote() error {
+	_, err := c.call(opPromote, nil)
+	return err
+}
+
+// ResolveStatus is the error-aware status lookup the transaction layer
+// uses to settle in-doubt commits after a transport failure: unlike Query,
+// which degrades to pending, it reports whether the answer actually came
+// from a server. It rides the batched query op, so the answer reflects the
+// (possibly newly promoted) server's commit table.
+func (c *Client) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
+	payload, err := c.call(opQueryBatch, encodeQueryBatchReq([]uint64{startTS}))
+	if err != nil {
+		return oracle.TxnStatus{}, err
+	}
+	statuses, err := decodeQueryBatchResp(payload)
+	if err != nil {
+		return oracle.TxnStatus{}, err
+	}
+	if len(statuses) != 1 {
+		return oracle.TxnStatus{}, ErrBadFrame
+	}
+	return statuses[0], nil
 }
 
 // Subscribe opens a dedicated event-stream connection and adapts it to the

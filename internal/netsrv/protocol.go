@@ -36,6 +36,18 @@ const (
 	opStats       = 7
 	opCommitBatch = 8
 	opQueryBatch  = 9
+	// opHealth reports the server's role (standby or primary); failover
+	// clients and orchestration use it without touching the oracle.
+	opHealth = 10
+	// opPromote asks a standby server to run its fenced promotion and
+	// begin serving. Idempotent on an already-serving server.
+	opPromote = 11
+)
+
+// Role bytes carried by opHealth / opPromote responses.
+const (
+	roleStandby byte = 0
+	rolePrimary byte = 1
 )
 
 // Response codes.
@@ -339,9 +351,11 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 	return statuses, nil
 }
 
-// statsPayloadLen is the fixed size of an opStats response: 11 fields of 8
-// bytes (counters as u64, averages as IEEE-754 bits).
-const statsPayloadLen = 11 * 8
+// statsPayloadLen is the fixed size of an opStats response: 15 fields of 8
+// bytes (counters as u64, averages as IEEE-754 bits). Fields 11–14 are the
+// availability counters: checkpoints written, last checkpoint bound,
+// records replayed by the last recovery, and its duration in nanoseconds.
+const statsPayloadLen = 15 * 8
 
 // encodeStats renders the oracle counters in wire order.
 func encodeStats(st oracle.Stats) []byte {
@@ -353,6 +367,9 @@ func encodeStats(st oracle.Stats) []byte {
 	binary.BigEndian.PutUint64(out[8*8:], uint64(st.Queries))
 	binary.BigEndian.PutUint64(out[9*8:], uint64(st.QueryBatches))
 	binary.BigEndian.PutUint64(out[10*8:], math.Float64bits(st.QueryBatchSizeAvg))
+	for i, v := range []int64{st.Checkpoints, st.LastCheckpointTS, st.ReplayedRecords, st.RecoveryNanos} {
+		binary.BigEndian.PutUint64(out[(11+i)*8:], uint64(v))
+	}
 	return out
 }
 
@@ -373,6 +390,10 @@ func decodeStats(b []byte) (oracle.Stats, error) {
 		Queries:           v(8),
 		QueryBatches:      v(9),
 		QueryBatchSizeAvg: math.Float64frombits(binary.BigEndian.Uint64(b[10*8:])),
+		Checkpoints:       v(11),
+		LastCheckpointTS:  v(12),
+		ReplayedRecords:   v(13),
+		RecoveryNanos:     v(14),
 	}, nil
 }
 

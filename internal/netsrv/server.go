@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/oracle"
@@ -15,11 +16,18 @@ import (
 // handled concurrently (the commit path blocks on the WAL group commit, so
 // serial handling would needlessly batch latencies); responses carry the
 // request id and may arrive out of order.
+//
+// A server may also start in standby role (NewStandbyServer): it rejects
+// data operations until an opPromote request triggers the supplied
+// promotion callback — typically ha.Standby.Promote, which fences the old
+// primary — and installs the returned oracle.
 type Server struct {
-	so    *oracle.StatusOracle
-	ln    net.Listener
-	coal  *coalescer
-	qcoal *queryCoalescer
+	so        atomic.Pointer[oracle.StatusOracle]
+	ln        net.Listener
+	coal      atomic.Pointer[coalescer]
+	qcoal     atomic.Pointer[queryCoalescer]
+	promoteFn func() (*oracle.StatusOracle, error)
+	promoteMu sync.Mutex
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -47,8 +55,28 @@ const defaultCoalesceDelay = 200 * time.Microsecond
 
 // NewServer wraps a status oracle for network service.
 func NewServer(so *oracle.StatusOracle) *Server {
-	return &Server{so: so, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s := &Server{conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s.so.Store(so)
+	return s
 }
+
+// NewStandbyServer creates a server in standby role: every data operation
+// is rejected with ErrStandby until a client issues opPromote, at which
+// point promote runs (fencing the old primary and returning the caught-up
+// oracle) and the server starts serving it.
+func NewStandbyServer(promote func() (*oracle.StatusOracle, error)) *Server {
+	return &Server{promoteFn: promote, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// ErrStandby is returned (over the wire) for data operations sent to a
+// standby server that has not been promoted yet.
+var ErrStandby = errors.New("netsrv: standby: not serving until promoted")
+
+// oracle returns the serving oracle, nil while in standby role.
+func (s *Server) oracle() *oracle.StatusOracle { return s.so.Load() }
+
+// Promoted reports whether the server is serving an oracle.
+func (s *Server) Promoted() bool { return s.oracle() != nil }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address. Serve loops run in background goroutines.
@@ -57,13 +85,8 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if s.CoalesceMaxBatch > 0 {
-		delay := s.CoalesceMaxDelay
-		if delay <= 0 {
-			delay = defaultCoalesceDelay
-		}
-		s.coal = newCoalescer(s.so, s.CoalesceMaxBatch, delay)
-		s.qcoal = newQueryCoalescer(s.so, s.CoalesceMaxBatch, delay)
+	if so := s.oracle(); so != nil {
+		s.startCoalescers(so)
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -122,13 +145,26 @@ func (s *Server) Close() error {
 	// Handlers drain first (requests parked in the coalescers still get
 	// their decisions), then the coalescer loops are stopped.
 	s.wg.Wait()
-	if s.coal != nil {
-		s.coal.stop()
+	if c := s.coal.Load(); c != nil {
+		c.stop()
 	}
-	if s.qcoal != nil {
-		s.qcoal.stop()
+	if c := s.qcoal.Load(); c != nil {
+		c.stop()
 	}
 	return err
+}
+
+// startCoalescers builds the server-side coalescers for so when configured.
+func (s *Server) startCoalescers(so *oracle.StatusOracle) {
+	if s.CoalesceMaxBatch <= 0 {
+		return
+	}
+	delay := s.CoalesceMaxDelay
+	if delay <= 0 {
+		delay = defaultCoalesceDelay
+	}
+	s.coal.Store(newCoalescer(so, s.CoalesceMaxBatch, delay))
+	s.qcoal.Store(newQueryCoalescer(so, s.CoalesceMaxBatch, delay))
 }
 
 func (s *Server) dropConn(conn net.Conn) {
@@ -191,9 +227,23 @@ func (s *Server) logf(format string, args ...interface{}) {
 
 // handle dispatches one request and returns the response body.
 func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
+	so := s.oracle()
+	switch op {
+	case opHealth:
+		role := roleStandby
+		if so != nil {
+			role = rolePrimary
+		}
+		return respOK(reqID, []byte{role})
+	case opPromote:
+		return s.handlePromote(reqID)
+	}
+	if so == nil {
+		return respError(reqID, ErrStandby)
+	}
 	switch op {
 	case opBegin:
-		ts, err := s.so.Begin()
+		ts, err := so.Begin()
 		if err != nil {
 			return respError(reqID, err)
 		}
@@ -204,10 +254,10 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 			return respError(reqID, err)
 		}
 		var res oracle.CommitResult
-		if s.coal != nil {
-			res, err = s.coal.submit(req)
+		if c := s.coal.Load(); c != nil {
+			res, err = c.submit(req)
 		} else {
-			res, err = s.so.Commit(req)
+			res, err = so.Commit(req)
 		}
 		if err != nil {
 			return respError(reqID, err)
@@ -218,7 +268,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		results, err := s.so.CommitBatch(reqs)
+		results, err := so.CommitBatch(reqs)
 		if err != nil {
 			return respError(reqID, err)
 		}
@@ -228,7 +278,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		if err := s.so.Abort(ts); err != nil {
+		if err := so.Abort(ts); err != nil {
 			return respError(reqID, err)
 		}
 		return respOK(reqID, nil)
@@ -238,13 +288,13 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 			return respError(reqID, err)
 		}
 		var st oracle.TxnStatus
-		if s.qcoal != nil {
-			st, err = s.qcoal.submit(ts)
+		if c := s.qcoal.Load(); c != nil {
+			st, err = c.submit(ts)
 			if err != nil {
 				return respError(reqID, err)
 			}
 		} else {
-			st = s.so.Query(ts)
+			st = so.Query(ts)
 		}
 		return respOK(reqID, encodeTxnStatus(st))
 	case opQueryBatch:
@@ -252,19 +302,43 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeQueryBatchResp(s.so.QueryBatch(startTSs)))
+		return respOK(reqID, encodeQueryBatchResp(so.QueryBatch(startTSs)))
 	case opForget:
 		ts, err := parseU64(payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
-		s.so.Forget(ts)
+		so.Forget(ts)
 		return respOK(reqID, nil)
 	case opStats:
-		return respOK(reqID, encodeStats(s.so.Stats()))
+		return respOK(reqID, encodeStats(so.Stats()))
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}
+}
+
+// handlePromote runs the standby's promotion callback (fencing the old
+// primary) and installs the returned oracle. Idempotent: promoting an
+// already-serving server succeeds without side effects.
+func (s *Server) handlePromote(reqID uint64) []byte {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.oracle() != nil {
+		return respOK(reqID, []byte{rolePrimary})
+	}
+	if s.promoteFn == nil {
+		return respError(reqID, errors.New("netsrv: server has no standby to promote"))
+	}
+	so, err := s.promoteFn()
+	if err != nil {
+		return respError(reqID, err)
+	}
+	// Coalescers must exist before the oracle becomes visible: handlers
+	// pick the coalesced path by loading the pointers after seeing the
+	// oracle.
+	s.startCoalescers(so)
+	s.so.Store(so)
+	return respOK(reqID, []byte{rolePrimary})
 }
 
 // streamEvents acknowledges the subscription and forwards the oracle's
@@ -274,7 +348,12 @@ func (s *Server) streamEvents(conn net.Conn, w *connWriter, reqID uint64, payloa
 	if len(payload) == 8 {
 		buffer = int(binary.BigEndian.Uint64(payload))
 	}
-	sub := s.so.Subscribe(buffer)
+	so := s.oracle()
+	if so == nil {
+		_ = w.send(respError(reqID, ErrStandby))
+		return
+	}
+	sub := so.Subscribe(buffer)
 	defer sub.Close()
 	// Watch the connection: when the peer (or Server.Close) tears it
 	// down, close the subscription so the forwarding loop below exits

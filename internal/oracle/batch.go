@@ -97,6 +97,14 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 		return results, nil
 	}
 
+	// Hold the checkpoint gate (shared) from the first state publication
+	// to the end of the WAL append: a checkpoint can then never capture a
+	// batch's effects while the batch's record would land after the
+	// checkpoint record, which is what keeps checkpoint + suffix replay
+	// bit-identical to a full replay.
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+
 	locks := s.batchLockSet(reqs, writeIdx)
 	for _, i := range locks {
 		s.shards[i].mu.Lock()
@@ -227,6 +235,7 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 			entries = append(entries, encodeAbortRecord(reqs[a.idx].StartTS))
 		}
 		if err := s.cfg.WAL.AppendAll(entries...); err != nil {
+			s.latchFence(err)
 			s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
 			return nil, fmt.Errorf("oracle: persist commit batch: %w", err)
 		}

@@ -131,6 +131,13 @@ type StatusOracle struct {
 	table  *commitTable
 	bcast  *broadcaster
 	stats  statsCollector
+	// ckptMu excludes a checkpoint capture from every mutation's window
+	// between publishing in-memory state and appending its WAL record:
+	// mutators (CommitBatch, Abort) hold it shared across that whole
+	// window, the checkpointer holds it exclusively, so the state a
+	// checkpoint snapshots is exactly the state the WAL prefix up to the
+	// checkpoint record reproduces.
+	ckptMu sync.RWMutex
 	// failed latches the first mid-batch infrastructure failure (see
 	// CommitBatch); once set, every further commit fails fast.
 	failed atomic.Value // error
@@ -198,8 +205,11 @@ func (s *StatusOracle) Commit(req CommitRequest) (CommitResult, error) {
 // Abort records an explicit client abort so that readers skip the
 // transaction's tentative writes.
 func (s *StatusOracle) Abort(startTS uint64) error {
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.cfg.WAL != nil {
 		if err := s.cfg.WAL.Append(encodeAbortRecord(startTS)); err != nil {
+			s.latchFence(err)
 			return fmt.Errorf("oracle: persist abort: %w", err)
 		}
 	}

@@ -3,6 +3,7 @@ package oracle
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats is a snapshot of the status oracle's counters. TmaxAborts counts
@@ -23,6 +24,13 @@ import (
 // QueryBatch invocations carrying at least one lookup, and
 // QueryBatchSizeAvg is the mean lookups per batch — the batch-size
 // distribution the read-coalescing layers achieve.
+// The availability counters describe checkpointing and bounded recovery:
+// Checkpoints counts checkpoint records written, LastCheckpointTS is the
+// timestamp-oracle reservation bound the latest checkpoint carried (the
+// epoch fence a promoted standby resumes from), and ReplayedRecords /
+// RecoveryNanos report how much WAL the last Recover actually replayed and
+// how long it took — with periodic checkpoints, both are bounded by the
+// checkpoint interval rather than the history length.
 type Stats struct {
 	Begins            int64
 	Commits           int64
@@ -35,6 +43,10 @@ type Stats struct {
 	Queries           int64
 	QueryBatches      int64
 	QueryBatchSizeAvg float64
+	Checkpoints       int64
+	LastCheckpointTS  int64
+	ReplayedRecords   int64
+	RecoveryNanos     int64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in
@@ -95,6 +107,27 @@ func (c *statsCollector) applyBatch(readOnly, commits, conflictAborts, tmaxAbort
 func (c *statsCollector) applyQueryBatch(n int64) {
 	c.queries.Add(n)
 	c.queryBatches.Add(1)
+}
+
+// checkpointed records one written checkpoint and the TSO bound it carried.
+func (c *statsCollector) checkpointed(bound uint64) {
+	c.mu.Lock()
+	c.s.Checkpoints++
+	c.s.LastCheckpointTS = int64(bound)
+	c.mu.Unlock()
+}
+
+// setRecovery records what Recover replayed: the post-checkpoint record
+// count, the recovered checkpoint's TSO bound (when one was found), and
+// the wall time the whole recovery took.
+func (c *statsCollector) setRecovery(replayed int64, bound uint64, found bool, d time.Duration) {
+	c.mu.Lock()
+	c.s.ReplayedRecords = replayed
+	c.s.RecoveryNanos = d.Nanoseconds()
+	if found {
+		c.s.LastCheckpointTS = int64(bound)
+	}
+	c.mu.Unlock()
 }
 
 func (c *statsCollector) snapshot() Stats {

@@ -42,6 +42,7 @@ type Oracle struct {
 	next      uint64 // next timestamp to hand out
 	reserved  uint64 // exclusive durable upper bound of issuable timestamps
 	extending bool
+	frozen    bool // Freeze in effect: no new reservation extensions
 	failed    error
 }
 
@@ -54,6 +55,45 @@ func New(batch int, w *wal.Writer) *Oracle {
 	o := &Oracle{batch: uint64(batch), wal: w, next: 1, reserved: 1}
 	o.cond = sync.NewCond(&o.mu)
 	return o
+}
+
+// Resume creates an oracle whose first issued timestamp is bound — the
+// reservation bound recovered from a checkpoint or a tailed log. A
+// promoting standby uses it so the new primary's timestamps continue the
+// old epoch monotonically: no timestamp at or above bound was ever durable
+// to issue, so none can have been handed out. bound <= 1 is a fresh oracle.
+func Resume(bound uint64, batch int, w *wal.Writer) *Oracle {
+	o := New(batch, w)
+	if bound > o.next {
+		o.next = bound
+		o.reserved = bound
+	}
+	return o
+}
+
+// Freeze blocks new reservation extensions, waits out any in-flight one,
+// and returns the durable reservation bound. While frozen, timestamps keep
+// flowing from the current block; only a block exhaustion would wait. The
+// status oracle freezes the TSO while capturing a checkpoint so that the
+// bound it records is exact: every reservation record already in the WAL
+// is <= the returned bound, and every later one appends after the
+// checkpoint record and is replayed from the suffix.
+func (o *Oracle) Freeze() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.frozen = true
+	for o.extending {
+		o.cond.Wait()
+	}
+	return o.reserved
+}
+
+// Unfreeze re-enables reservation extensions.
+func (o *Oracle) Unfreeze() {
+	o.mu.Lock()
+	o.frozen = false
+	o.cond.Broadcast()
+	o.mu.Unlock()
 }
 
 // Recover rebuilds an oracle from a ledger previously written through New's
@@ -117,6 +157,12 @@ func (o *Oracle) Next() (Timestamp, error) {
 			}
 			return ts, nil
 		}
+		if o.frozen {
+			// A checkpoint capture is in progress; extensions resume
+			// at Unfreeze.
+			o.cond.Wait()
+			continue
+		}
 		if !o.extending {
 			o.startExtendLocked()
 			// With no WAL the extension completes synchronously;
@@ -152,6 +198,10 @@ func (o *Oracle) NextWith(fn func(ts Timestamp)) (Timestamp, error) {
 			}
 			fn(ts)
 			return ts, nil
+		}
+		if o.frozen {
+			o.cond.Wait()
+			continue
 		}
 		if !o.extending {
 			o.startExtendLocked()
@@ -190,6 +240,10 @@ func (o *Oracle) NextBlock(n int, publish func(lo, hi Timestamp)) (Timestamp, er
 			}
 			return lo, nil
 		}
+		if o.frozen {
+			o.cond.Wait()
+			continue
+		}
 		// Blocks larger than the remaining reservation extend repeatedly
 		// until the whole block fits inside the durable bound; no
 		// timestamp is handed out until then, so crash recovery can never
@@ -215,6 +269,9 @@ func (o *Oracle) MustNext() Timestamp {
 // startExtendLocked begins an asynchronous reservation extension.
 // Caller holds o.mu.
 func (o *Oracle) startExtendLocked() {
+	if o.frozen || o.extending {
+		return
+	}
 	o.extending = true
 	newBound := o.reserved + o.batch
 	if o.wal == nil {

@@ -55,6 +55,18 @@ type Forgetting interface {
 	Forget(startTS uint64)
 }
 
+// StatusResolver is implemented by arbiters whose status lookups can
+// report transport failure (netsrv.Client after a connection loss or
+// failover). The commit path uses it to settle in-doubt commits: when a
+// commit submission fails with an infrastructure error, the decision may
+// or may not have landed, so the client asks for the transaction's status
+// — on the reconnected, possibly newly promoted server — instead of ever
+// resubmitting the request (a blind resubmit could commit twice). Arbiters
+// without it are in-process, where Query is authoritative.
+type StatusResolver interface {
+	ResolveStatus(startTS uint64) (oracle.TxnStatus, error)
+}
+
 // CommitInfoMode selects how readers resolve commit timestamps (§2.2).
 type CommitInfoMode uint8
 
@@ -323,4 +335,16 @@ func (c *Client) forget(startTS uint64) {
 	if f, ok := c.so.(Forgetting); ok {
 		f.Forget(startTS)
 	}
+}
+
+// resolveFate determines a transaction's fate after a failed commit
+// submission. ok is false when no authoritative answer could be obtained
+// (the transaction stays in doubt).
+func (c *Client) resolveFate(startTS uint64) (oracle.TxnStatus, bool) {
+	if r, isResolver := c.so.(StatusResolver); isResolver {
+		st, err := r.ResolveStatus(startTS)
+		return st, err == nil
+	}
+	// In-process arbiters answer authoritatively and never fail.
+	return c.so.Query(startTS), true
 }

@@ -1,0 +1,143 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/oracle"
+	"repro/internal/tso"
+)
+
+// flakyArbiter decides commits through a real status oracle but fails the
+// submission *after* the decision landed — the ack-lost shape of an oracle
+// failover — and resolves statuses like a reconnected failover client.
+type flakyArbiter struct {
+	so *oracle.StatusOracle
+	// dropAck fails the next Commit return after the oracle decided.
+	dropAck bool
+	// resolveErr fails ResolveStatus, leaving the commit in doubt.
+	resolveErr error
+}
+
+var errConnLost = errors.New("fake: connection lost")
+
+func (f *flakyArbiter) Begin() (uint64, error) { return f.so.Begin() }
+func (f *flakyArbiter) Commit(req oracle.CommitRequest) (oracle.CommitResult, error) {
+	res, err := f.so.Commit(req)
+	if err != nil {
+		return oracle.CommitResult{}, err
+	}
+	if f.dropAck {
+		f.dropAck = false
+		return oracle.CommitResult{}, errConnLost
+	}
+	return res, nil
+}
+func (f *flakyArbiter) Abort(startTS uint64) error { return f.so.Abort(startTS) }
+func (f *flakyArbiter) Query(startTS uint64) oracle.TxnStatus {
+	return f.so.Query(startTS)
+}
+func (f *flakyArbiter) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
+	if f.resolveErr != nil {
+		return oracle.TxnStatus{}, f.resolveErr
+	}
+	return f.so.Query(startTS), nil
+}
+
+func newFlakyStack(t *testing.T) (*kvstore.Store, *flakyArbiter, *Client) {
+	t.Helper()
+	so, err := oracle.New(oracle.Config{Engine: oracle.SI, TSO: tso.New(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := &flakyArbiter{so: so}
+	store := kvstore.New(kvstore.Config{})
+	c, err := NewClient(store, fa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return store, fa, c
+}
+
+// TestFailoverInDoubtCommitResolvedCommitted: the decision landed but the ack was
+// lost; the client must recover the commit by status lookup, never by
+// resubmitting — the transaction ends committed with its real timestamp.
+func TestFailoverInDoubtCommitResolvedCommitted(t *testing.T) {
+	_, fa, c := newFlakyStack(t)
+	tx := begin(t, c)
+	put(t, tx, "a", "1")
+	fa.dropAck = true
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("in-doubt commit not recovered: %v", err)
+	}
+	if !tx.Committed() || tx.CommitTS() == 0 {
+		t.Fatalf("commit not applied: committed=%v ts=%d", tx.Committed(), tx.CommitTS())
+	}
+	st := fa.so.Query(tx.StartTS())
+	if st.CommitTS != tx.CommitTS() {
+		t.Fatalf("commit timestamp %d differs from oracle's %d", tx.CommitTS(), st.CommitTS)
+	}
+	// The value is durable and visible to a later snapshot.
+	tx2 := begin(t, c)
+	if v, ok := get(t, tx2, "a"); !ok || v != "1" {
+		t.Fatalf("recovered commit invisible: %q %v", v, ok)
+	}
+}
+
+// TestFailoverInDoubtCommitUnresolvableKeepsWrites: when the status cannot be
+// resolved either, the original error surfaces and the tentative writes
+// stay (invisible while undecided) — they must not be deleted, because the
+// commit may have landed.
+func TestFailoverInDoubtCommitUnresolvableKeepsWrites(t *testing.T) {
+	store, fa, c := newFlakyStack(t)
+	tx := begin(t, c)
+	put(t, tx, "k", "v")
+	fa.dropAck = true
+	fa.resolveErr = errors.New("fake: still partitioned")
+	err := tx.Commit()
+	if !errors.Is(err, errConnLost) {
+		t.Fatalf("unresolvable in-doubt commit returned %v, want the original transport error", err)
+	}
+	if tx.Committed() {
+		t.Fatalf("unresolved transaction marked committed")
+	}
+	if got := store.Get("k", ^uint64(0), 0); len(got) == 0 {
+		t.Fatalf("tentative write of an in-doubt commit was deleted")
+	}
+	// In this scenario the decision actually landed; a reader resolving
+	// through the oracle still sees it once connectivity returns.
+	tx2 := begin(t, c)
+	if v, ok := get(t, tx2, "k"); !ok || v != "v" {
+		t.Fatalf("landed commit lost: %q %v", v, ok)
+	}
+}
+
+// TestFailoverInDoubtConflictResolvedAborted: the submission error raced a genuine
+// conflict abort; resolution maps it to the normal ErrConflict path with
+// cleanup.
+func TestFailoverInDoubtConflictResolvedAborted(t *testing.T) {
+	store, fa, c := newFlakyStack(t)
+	// Seed a conflicting writer.
+	tx1 := begin(t, c)
+	tx2 := begin(t, c)
+	put(t, tx1, "x", "1")
+	put(t, tx2, "x", "2")
+	commit(t, tx1)
+
+	// tx2's submission will be decided (abort) — simulate the ack loss by
+	// wrapping Commit's error path: a conflict is not an error, so force
+	// the arbiter to abort it first and then report the abort status.
+	if err := fa.so.Abort(tx2.StartTS()); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	fa.dropAck = true
+	err := tx2.Commit()
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("aborted in-doubt commit returned %v, want ErrConflict", err)
+	}
+	if vs := store.Get("x", ^uint64(0), 0); len(vs) != 1 {
+		t.Fatalf("conflict cleanup left %d versions", len(vs))
+	}
+}

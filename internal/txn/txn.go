@@ -435,25 +435,64 @@ func (t *Txn) prepareCommit() oracle.CommitRequest {
 
 // finishCommit applies the oracle's decision to the transaction: cleanup and
 // forget on conflict, commit bookkeeping and (in write-back mode) shadow
-// cells on success.
+// cells on success. A submission error leaves the decision in doubt and is
+// settled by querying the transaction's status — never by resubmitting.
 func (t *Txn) finishCommit(res oracle.CommitResult, err error) CommitOutcome {
 	t.client.active.remove(t.startTS)
 	if err != nil {
-		return CommitOutcome{Err: err}
+		return t.settleInDoubt(err)
 	}
 	if !res.Committed {
 		t.cleanup()
 		t.client.forget(t.startTS)
 		return CommitOutcome{Err: ErrConflict}
 	}
+	return t.applyCommitted(res.CommitTS)
+}
+
+// applyCommitted records a successful commit decision.
+func (t *Txn) applyCommitted(commitTS uint64) CommitOutcome {
 	t.committed = true
-	t.commitTS = res.CommitTS
+	t.commitTS = commitTS
 	if t.client.cfg.Mode == ModeWriteBack {
 		for k := range t.writes {
-			t.client.store.PutShadow(k, t.startTS, res.CommitTS)
+			t.client.store.PutShadow(k, t.startTS, commitTS)
 		}
 	}
-	return CommitOutcome{Committed: true, CommitTS: res.CommitTS}
+	return CommitOutcome{Committed: true, CommitTS: commitTS}
+}
+
+// settleInDoubt resolves a commit whose submission failed (connection
+// lost, server fenced mid-failover, WAL quorum error): the decision may or
+// may not have landed. The transaction's status — fetched through the
+// arbiter, which for a failover client means the reconnected, possibly
+// newly promoted server — is the authority:
+//
+//   - committed: the decision was durable before the failure; the commit
+//     is acknowledged with its real commit timestamp (an ack lost in
+//     transit is recovered, not lost).
+//   - aborted: the oracle decided a conflict abort; normal abort cleanup.
+//   - pending/unknown or unresolvable: the original error is surfaced and
+//     the tentative writes are left in place — they are invisible to
+//     readers while undecided, and deleting them could lose a commit that
+//     did land but is momentarily unobservable. The caller may retry the
+//     whole transaction (with a fresh timestamp) or garbage-collection
+//     will reap the versions once the fate is knowable.
+func (t *Txn) settleInDoubt(cause error) CommitOutcome {
+	st, resolved := t.client.resolveFate(t.startTS)
+	if !resolved {
+		return CommitOutcome{Err: cause}
+	}
+	switch st.Status {
+	case oracle.StatusCommitted:
+		return t.applyCommitted(st.CommitTS)
+	case oracle.StatusAborted:
+		t.cleanup()
+		t.client.forget(t.startTS)
+		return CommitOutcome{Err: ErrConflict}
+	default:
+		return CommitOutcome{Err: cause}
+	}
 }
 
 // Abort rolls the transaction back: tentative versions are deleted and the

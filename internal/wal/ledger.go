@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -16,6 +17,7 @@ import (
 type MemLedger struct {
 	mu      sync.Mutex
 	batches [][]byte
+	sealed  bool
 
 	// Latency is slept on every AppendBatch, modelling the remote write.
 	Latency time.Duration
@@ -40,10 +42,30 @@ func (m *MemLedger) AppendBatch(batch []byte) (int, error) {
 	cp := make([]byte, len(batch))
 	copy(cp, batch)
 	m.mu.Lock()
+	if m.sealed {
+		m.mu.Unlock()
+		return 0, ErrSealed
+	}
 	m.batches = append(m.batches, cp)
 	n := len(m.batches) - 1
 	m.mu.Unlock()
 	return n, nil
+}
+
+// Seal fences the ledger: once Seal returns, no append can store a batch,
+// so a reader that has consumed every stored batch has seen the final log.
+func (m *MemLedger) Seal() error {
+	m.mu.Lock()
+	m.sealed = true
+	m.mu.Unlock()
+	return nil
+}
+
+// Sealed reports whether the ledger has been fenced.
+func (m *MemLedger) Sealed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealed
 }
 
 // NumBatches returns the number of stored batches.
@@ -82,7 +104,7 @@ func (m *MemLedger) Corrupt(i int) error {
 
 // FileLedger is a Ledger backed by a single append-only file, for durable
 // single-machine deployments of cmd/oracle-server. Batches are stored as
-// [8-byte length][payload] records.
+// [8-byte length][payload] records; a length of sealMarker fences the file.
 type FileLedger struct {
 	mu      sync.Mutex
 	f       *os.File
@@ -90,54 +112,148 @@ type FileLedger struct {
 	sizes   []int64
 	end     int64
 	sync    bool
+	sealed  bool
+	reader  bool // opened read-only: never truncate, Refresh allowed
 }
+
+// sealMarker is the batch-length value that marks a sealed file: no real
+// batch can be that large, and a writer that finds it at its append offset
+// knows a successor has fenced the log.
+const sealMarker = ^uint64(0)
+
+// flockEx/flockSh/funlock wrap the advisory file lock that makes the
+// cross-process fence atomic: AppendBatch's check-then-write and Seal's
+// rescan-then-mark each run under the exclusive lock, so a fencing standby
+// can never clobber a batch the primary is mid-appending, and the primary
+// can never overwrite a freshly written seal marker. Locks are held only
+// for the duration of one append, seal, or scan.
+func flockEx(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_EX) }
+func flockSh(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_SH) }
+func funlock(f *os.File)       { _ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }
 
 // OpenFileLedger opens (creating if needed) a file-backed ledger. When
 // syncEveryBatch is set, each batch is fsynced, giving real durability at
-// real disk latency.
+// real disk latency. The open scan runs under the exclusive file lock:
+// a torn tail can then only come from a crashed writer (a live writer
+// holds the lock across each append), so truncating it is safe.
 func OpenFileLedger(path string, syncEveryBatch bool) (*FileLedger, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	l := &FileLedger{f: f, sync: syncEveryBatch}
-	if err := l.scan(); err != nil {
+	if err := flockEx(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	err = l.scan()
+	funlock(f)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return l, nil
 }
 
-// scan indexes the existing batches, truncating a torn tail write.
+// OpenFileLedgerReader opens an existing ledger file read-only, for a
+// standby tailing a primary's WAL on the same machine. The reader never
+// truncates torn tails (the primary may still be mid-write) and supports
+// Refresh, so a Tailer over it observes batches as the primary appends
+// them.
+func OpenFileLedgerReader(path string) (*FileLedger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &FileLedger{f: f, reader: true}
+	if err := flockSh(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	err = l.scan()
+	funlock(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan indexes batches from the current end of the index onward. Writers
+// truncate a torn tail write; readers leave it for a later Refresh (the
+// writer may simply not have finished it yet).
 func (l *FileLedger) scan() error {
 	info, err := l.f.Stat()
 	if err != nil {
 		return err
 	}
 	size := info.Size()
-	var off int64
+	off := l.end
 	var hdr [8]byte
 	for off+8 <= size {
 		if _, err := l.f.ReadAt(hdr[:], off); err != nil {
 			return err
 		}
-		n := int64(binary.BigEndian.Uint64(hdr[:]))
-		if off+8+n > size {
-			break // torn write at the tail; ignore
+		n := binary.BigEndian.Uint64(hdr[:])
+		if n == sealMarker {
+			l.sealed = true
+			off += 8
+			break
+		}
+		if off+8+int64(n) > size {
+			break // torn write at the tail
 		}
 		l.offsets = append(l.offsets, off+8)
-		l.sizes = append(l.sizes, n)
-		off += 8 + n
+		l.sizes = append(l.sizes, int64(n))
+		off += 8 + int64(n)
 	}
 	l.end = off
+	if l.reader {
+		return nil
+	}
 	return l.f.Truncate(off)
 }
 
-// AppendBatch appends one batch record.
+// Refresh re-indexes batches appended since the last scan, letting a
+// read-only ledger follow a file another process is writing. The shared
+// lock excludes a concurrent append or seal, so the scan never observes a
+// half-written batch.
+func (l *FileLedger) Refresh() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return nil
+	}
+	if err := flockSh(l.f); err != nil {
+		return err
+	}
+	defer funlock(l.f)
+	return l.scan()
+}
+
+// AppendBatch appends one batch record. Under the exclusive file lock it
+// re-reads the header at the append offset: a seal marker placed there by
+// another process (a promoting standby fencing this primary) fails the
+// append, and the lock guarantees the marker check and the write are one
+// atomic step — a seal can never be overwritten, and a batch can never be
+// clobbered by a concurrent seal.
 func (l *FileLedger) AppendBatch(batch []byte) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed {
+		return 0, ErrSealed
+	}
+	if err := flockEx(l.f); err != nil {
+		return 0, err
+	}
+	defer funlock(l.f)
 	var hdr [8]byte
+	if _, err := l.f.ReadAt(hdr[:], l.end); err == nil {
+		if binary.BigEndian.Uint64(hdr[:]) == sealMarker {
+			l.sealed = true
+			return 0, ErrSealed
+		}
+	}
 	binary.BigEndian.PutUint64(hdr[:], uint64(len(batch)))
 	if _, err := l.f.WriteAt(hdr[:], l.end); err != nil {
 		return 0, err
@@ -154,6 +270,50 @@ func (l *FileLedger) AppendBatch(batch []byte) (int, error) {
 	l.sizes = append(l.sizes, int64(len(batch)))
 	l.end += 8 + int64(len(batch))
 	return len(l.offsets) - 1, nil
+}
+
+// Seal durably fences the file: a seal marker is written at the end and
+// fsynced, so both this process and any other process appending to the
+// same file observe the fence. Under the exclusive file lock the seal
+// first rescans to the file's true end — batches another process appended
+// (and possibly acked) since this handle's last scan are indexed, never
+// clobbered — and only then writes the marker, which the lock orders
+// strictly after any in-flight append.
+func (l *FileLedger) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return nil
+	}
+	if err := flockEx(l.f); err != nil {
+		return err
+	}
+	defer funlock(l.f)
+	if err := l.scan(); err != nil {
+		return err
+	}
+	if l.sealed {
+		// The rescan found another sealer's marker; the fence holds.
+		return nil
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], sealMarker)
+	if _, err := l.f.WriteAt(hdr[:], l.end); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.end += 8
+	l.sealed = true
+	return nil
+}
+
+// Sealed reports whether the ledger has been fenced.
+func (l *FileLedger) Sealed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed
 }
 
 // NumBatches returns the number of stored batches.

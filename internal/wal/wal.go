@@ -27,12 +27,39 @@ type Ledger interface {
 	ReadBatch(i int) ([]byte, error)
 }
 
-// Errors returned by the writer.
+// Errors returned by the writer and the fencing layer.
 var (
 	ErrClosed       = errors.New("wal: writer closed")
 	ErrQuorumFailed = errors.New("wal: quorum of ledgers failed")
 	ErrCorrupt      = errors.New("wal: corrupt entry")
+	// ErrSealed is returned by a sealed ledger's AppendBatch. Sealing is
+	// the BookKeeper-style fence a promoting standby applies before it
+	// serves: no writer can extend a sealed ledger.
+	ErrSealed = errors.New("wal: ledger sealed")
+	// ErrFenced is returned by a writer that has observed a seal on any
+	// of its ledgers. The writer latches permanently: a seal means a
+	// successor has taken over the log, so acknowledging further appends
+	// could double-ack a commit the successor never saw.
+	ErrFenced = errors.New("wal: writer fenced by ledger seal")
 )
+
+// Sealer is implemented by ledgers that support fencing.
+type Sealer interface {
+	// Seal makes the ledger permanently read-only: every subsequent
+	// AppendBatch fails with ErrSealed. Sealing an already-sealed ledger
+	// succeeds.
+	Seal() error
+}
+
+// Seal fences a ledger. Ledgers that do not implement Sealer cannot be
+// fenced and return an error.
+func Seal(l Ledger) error {
+	s, ok := l.(Sealer)
+	if !ok {
+		return fmt.Errorf("wal: ledger %T is not sealable", l)
+	}
+	return s.Seal()
+}
 
 // Config parameterizes the batching and replication policy.
 type Config struct {
@@ -70,8 +97,17 @@ type Writer struct {
 	bytes   int
 	timer   *time.Timer
 	closed  bool
+	fenced  bool // a flush observed ErrSealed; every later append fails fast
 
 	flushMu sync.Mutex // serializes flushes so batch order is the ledger order
+}
+
+// Fenced reports whether the writer has observed a seal on any ledger and
+// latched into fail-fast mode.
+func (w *Writer) Fenced() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fenced
 }
 
 // NewWriter creates a writer replicating to the given ledgers.
@@ -113,6 +149,10 @@ func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
 		w.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if w.fenced {
+		w.mu.Unlock()
+		return nil, ErrFenced
+	}
 	w.pending = append(w.pending, pendingEntry{data: data, done: done})
 	w.bytes += len(data) + frameOverhead
 	if w.bytes >= w.cfg.BatchBytes {
@@ -143,6 +183,10 @@ func (w *Writer) AppendAll(entries ...[]byte) error {
 	if w.closed {
 		w.mu.Unlock()
 		return ErrClosed
+	}
+	if w.fenced {
+		w.mu.Unlock()
+		return ErrFenced
 	}
 	for _, entry := range entries {
 		data := make([]byte, len(entry))
@@ -261,12 +305,20 @@ func (w *Writer) flush(entries []pendingEntry) {
 	// recovery never reads a ledger with an append still in flight.
 	acks, fails := 0, 0
 	var firstErr error
+	sealed := false
 	need := w.cfg.Quorum
 	acked := false
 	ack := func() {
 		var result error
 		if acks < need {
-			result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
+			// A seal on any replica means a successor has fenced the
+			// log; report it as such so the oracle can latch rather
+			// than treat it as a transient quorum loss.
+			if sealed {
+				result = fmt.Errorf("%w: %d/%d acks", ErrFenced, acks, need)
+			} else {
+				result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
+			}
 		}
 		for _, e := range entries {
 			e.done <- result
@@ -279,6 +331,9 @@ func (w *Writer) flush(entries []pendingEntry) {
 			acks++
 		} else {
 			fails++
+			if errors.Is(err, ErrSealed) {
+				sealed = true
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -289,6 +344,11 @@ func (w *Writer) flush(entries []pendingEntry) {
 	}
 	if !acked {
 		ack()
+	}
+	if sealed {
+		w.mu.Lock()
+		w.fenced = true
+		w.mu.Unlock()
 	}
 }
 
@@ -317,11 +377,19 @@ func (w *Writer) Close() error {
 // Replay feeds every entry stored in the ledger, in append order, to fn.
 // It is the recovery path of the status oracle and the timestamp oracle.
 func Replay(l Ledger, fn func(entry []byte) error) error {
+	return ReplayRange(l, 0, 0, fn)
+}
+
+// ReplayRange feeds the ledger's entries to fn starting at batch fromBatch,
+// additionally skipping the first skipEntries entries of that batch. The
+// status oracle's bounded recovery uses it to replay only the suffix after
+// the latest checkpoint instead of the whole log.
+func ReplayRange(l Ledger, fromBatch, skipEntries int, fn func(entry []byte) error) error {
 	n, err := l.NumBatches()
 	if err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
+	for i := fromBatch; i < n; i++ {
 		batch, err := l.ReadBatch(i)
 		if err != nil {
 			return err
@@ -330,6 +398,12 @@ func Replay(l Ledger, fn func(entry []byte) error) error {
 		if err != nil {
 			return err
 		}
+		if i == fromBatch && skipEntries > 0 {
+			if skipEntries >= len(entries) {
+				continue
+			}
+			entries = entries[skipEntries:]
+		}
 		for _, e := range entries {
 			if err := fn(e); err != nil {
 				return err
@@ -337,4 +411,69 @@ func Replay(l Ledger, fn func(entry []byte) error) error {
 		}
 	}
 	return nil
+}
+
+// Refresher is implemented by ledgers whose backing storage can grow behind
+// the in-memory index (a FileLedger opened read-only on a file another
+// process is appending to). A Tailer calls it when it runs out of batches.
+type Refresher interface {
+	// Refresh re-indexes batches appended since the last scan.
+	Refresh() error
+}
+
+// Tailer reads a ledger incrementally: each Next call returns the next
+// entry in append order, reporting ok=false once it has caught up with the
+// ledger's current end. A hot-standby status oracle polls a Tailer to keep
+// a shadow commit table current, so promotion only has to drain the final
+// few batches.
+type Tailer struct {
+	l       Ledger
+	next    int // next batch index to read
+	entries [][]byte
+	idx     int
+}
+
+// NewTailer starts tailing at the beginning of the ledger.
+func NewTailer(l Ledger) *Tailer { return &Tailer{l: l} }
+
+// Next returns the next entry. ok is false when the tailer has consumed
+// every entry currently in the ledger; calling Next again later picks up
+// batches appended in the meantime.
+func (t *Tailer) Next() (entry []byte, ok bool, err error) {
+	refreshed := false
+	for {
+		if t.idx < len(t.entries) {
+			e := t.entries[t.idx]
+			t.idx++
+			return e, true, nil
+		}
+		n, err := t.l.NumBatches()
+		if err != nil {
+			return nil, false, err
+		}
+		if t.next >= n {
+			if r, canRefresh := t.l.(Refresher); canRefresh && !refreshed {
+				if err := r.Refresh(); err != nil {
+					return nil, false, err
+				}
+				refreshed = true
+				continue
+			}
+			return nil, false, nil
+		}
+		batch, err := t.l.ReadBatch(t.next)
+		if err != nil {
+			return nil, false, err
+		}
+		entries, err := DecodeBatch(batch)
+		if err != nil {
+			// Leave t.next in place: the batch is not consumed, so a
+			// transient read anomaly is retried on the next call
+			// instead of silently skipping a batch.
+			return nil, false, err
+		}
+		t.next++
+		t.entries = entries
+		t.idx = 0
+	}
 }
