@@ -28,8 +28,19 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		batchMax = flag.Int("batchmax", 0, "cap the commit-batch sweep of the batch experiment (0 = full sweep)")
 		readMax  = flag.Int("readmax", 0, "cap the lookup-batch sweep of the read experiment (0 = full sweep)")
+		partMax  = flag.Int("partmax", 0, "cap the partition-count sweep of the scaleout experiment (0 = full sweep)")
 	)
 	flag.Parse()
+
+	if *partMax > 0 {
+		var parts []int
+		for _, p := range bench.ScaleoutPartitions {
+			if p <= *partMax {
+				parts = append(parts, p)
+			}
+		}
+		bench.ScaleoutPartitions = parts
+	}
 
 	if *batchMax > 0 {
 		var sizes []int

@@ -28,6 +28,19 @@
 // it BookKeeper-style, so a still-running primary can no longer
 // acknowledge commits — drains the tail, resumes the timestamp epoch, and
 // starts serving from its own WAL, whose first record is a full checkpoint.
+//
+// The server can also run as one key slice of a partitioned status oracle
+// (internal/partition):
+//
+//	oracle-server -addr :7070 -partitions 4 -partition-id 0 -router hash \
+//	    -wal /var/lib/wsi/part0.wal
+//
+// Requests carrying rows the router did not assign to this partition are
+// rejected at the wire; clients front the fleet with
+// netsrv.DialPartitioned, whose coordinator routes single-partition
+// commits to their owner and runs the two-phase prepare/decide protocol
+// for transactions that span slices. Partition 0's server doubles as the
+// timestamp authority.
 package main
 
 import (
@@ -42,6 +55,7 @@ import (
 	"repro/internal/ha"
 	"repro/internal/netsrv"
 	"repro/internal/oracle"
+	"repro/internal/partition"
 	"repro/internal/tso"
 	"repro/internal/wal"
 )
@@ -62,6 +76,10 @@ func main() {
 		standby      = flag.Bool("standby", false, "run as a hot standby tailing -follow; serve only after a promote request")
 		follow       = flag.String("follow", "", "primary WAL ledger to tail (with -standby)")
 		pollEvery    = flag.Duration("poll", 20*time.Millisecond, "standby tail poll interval (with -standby)")
+
+		partitions  = flag.Int("partitions", 1, "total status-oracle partitions in the deployment (this server is one of them)")
+		partitionID = flag.Int("partition-id", 0, "this server's partition index in [0, -partitions) (with -partitions > 1)")
+		routerSpec  = flag.String("router", "hash", "row router of the partitioned deployment: hash, range, or range:s1,s2,... (with -partitions > 1)")
 	)
 	flag.Parse()
 
@@ -77,14 +95,34 @@ func main() {
 	}
 	cfg := oracle.Config{Engine: eng, MaxRows: *maxRows, Shards: *shards}
 
+	// Partitioned deployment: this server owns one key slice of a
+	// -partitions-wide status oracle. The router must match the one the
+	// PartitionedClient coordinators dial with; requests carrying rows the
+	// router did not assign here are rejected at the wire.
+	var ownsRow func(oracle.RowID) bool
+	if *partitions > 1 {
+		if *partitionID < 0 || *partitionID >= *partitions {
+			fmt.Fprintf(os.Stderr, "oracle-server: -partition-id %d outside [0, %d)\n", *partitionID, *partitions)
+			os.Exit(2)
+		}
+		router, err := partition.ParseRouter(*routerSpec, *partitions)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracle-server: %v\n", err)
+			os.Exit(2)
+		}
+		id := *partitionID
+		ownsRow = func(r oracle.RowID) bool { return router.Partition(r) == id }
+		log.Printf("oracle-server: partition %d of %d (%s router)", id, *partitions, *routerSpec)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *standby {
-		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, sig)
+		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ownsRow, sig)
 		return
 	}
-	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, sig)
+	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, ownsRow, sig)
 }
 
 // configureCoalescing applies the coalescer knobs to a server.
@@ -96,7 +134,7 @@ func configureCoalescing(srv *netsrv.Server, coalesce int, delay time.Duration) 
 	}
 }
 
-func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, sig chan os.Signal) {
+func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, ownsRow func(oracle.RowID) bool, sig chan os.Signal) {
 	var (
 		so     *oracle.StatusOracle
 		writer *wal.Writer
@@ -136,6 +174,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 
 	srv := netsrv.NewServer(so)
+	srv.OwnsRow = ownsRow
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -168,7 +207,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 }
 
-func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, sig chan os.Signal) {
+func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ownsRow func(oracle.RowID) bool, sig chan os.Signal) {
 	if follow == "" {
 		log.Fatalf("oracle-server: -standby requires -follow <primary wal>")
 	}
@@ -218,6 +257,7 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 		log.Printf("oracle-server: promoted to primary: %d records inherited, timestamp epoch resumes at %d", records, tsoBound)
 		return so, nil
 	})
+	srv.OwnsRow = ownsRow
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	boundAddr, err := srv.Listen(addr)
 	if err != nil {

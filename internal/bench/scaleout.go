@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/oracle"
+	"repro/internal/partition"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// ScaleoutPartitions is the partition-count sweep of the scaleout
+// experiment; 1 is the centralized baseline. cmd/bench -partmax trims it.
+var ScaleoutPartitions = []int{1, 2, 4, 8}
+
+// scaleoutCross is the cross-partition-fraction sweep: the share of write
+// transactions whose write set spans at least two key slices and must
+// therefore take the two-phase prepare/decide path.
+var scaleoutCross = []float64{0, 0.10, 0.50}
+
+// scaleoutClusterPoint runs the virtual-time testbed with the status
+// oracle split into `partitions` slices. The configuration is arbitration
+// bound: a cache-resident row space keeps the region servers comfortable
+// while SOServiceMS charges each write commit a 1 ms critical-section
+// visit (an oracle checking the paper's long WSI read sets), so at one
+// partition the oracle's single critical section is the saturated
+// resource — exactly the regime §7's partitioning argument targets.
+func scaleoutClusterPoint(partitions int, cross float64, quick bool) (cluster.Result, error) {
+	cfg := cluster.Defaults()
+	cfg.Rows = 100_000
+	cfg.CacheRows = 8_000
+	cfg.Clients = 500
+	cfg.Mix = workload.ComplexWorkload()
+	cfg.SOServiceMS = 1.0
+	// The horizons are the same in quick mode: the block cache must warm
+	// before the oracle (rather than the disk) is the measured bottleneck,
+	// and virtual time is cheap.
+	_ = quick
+	cfg.WarmupMS = 5_000
+	cfg.MeasureMS = 20_000
+	if partitions > 1 {
+		cfg.Partitions = partitions
+		cfg.CrossFraction = cross
+	}
+	return cluster.Run(cfg)
+}
+
+// scaleoutPoint measures the wall-clock commit throughput of a real
+// in-process coordinator for one (partitions, cross) configuration on the
+// durable stack: every partition owns a replicated WAL (1 ms append
+// latency, quorum 2 of 3 — the same bookie model the batch experiment
+// uses), all partitions share one timestamp oracle, and `workers` load
+// generators submit batches of the slice-local cross mix through the
+// coordinator. On a many-core host the partitions' WALs and lock passes
+// proceed in parallel; the per-partition stats (prepares, cross ratio,
+// decide latency) surface regardless.
+func scaleoutPoint(engine oracle.Engine, partitions, workers, batchSize int, cross float64, measure time.Duration) (tps float64, st partition.Stats, err error) {
+	var writers []*wal.Writer
+	walFor := func(i int) *wal.Writer {
+		for len(writers) <= i {
+			ledgers := []wal.Ledger{wal.NewMemLedger(), wal.NewMemLedger(), wal.NewMemLedger()}
+			for _, l := range ledgers {
+				l.(*wal.MemLedger).Latency = time.Millisecond
+			}
+			cfg := wal.DefaultConfig()
+			cfg.Quorum = 2
+			cfg.BatchBytes = 64 << 10
+			// The two-phase records (prepares, decides, verdicts) are tiny
+			// and latency-bound: the default 5 ms group-commit delay would
+			// dominate every cross-partition round, so cut the batch much
+			// sooner — the 1 ms bookie round trip still sets the floor.
+			cfg.BatchDelay = 200 * time.Microsecond
+			w, werr := wal.NewWriter(cfg, ledgers...)
+			if werr != nil {
+				err = werr
+				return nil
+			}
+			writers = append(writers, w)
+		}
+		return writers[i]
+	}
+
+	const rows = 20_000_000
+	lc, lerr := partition.NewLocal(partition.LocalConfig{
+		Partitions: partitions,
+		Engine:     engine,
+		Router:     partition.NewEvenRangeRouter(partitions, rows),
+		WALFor:     walFor,
+		TSOBatch:   100_000,
+		// Acks wait for the durable verdict, not the decide fan-out; the
+		// decision log answers queries for the in-between window.
+		AsyncDecide: true,
+	})
+	if lerr != nil {
+		return 0, partition.Stats{}, lerr
+	}
+	if err != nil {
+		return 0, partition.Stats{}, err
+	}
+	defer func() {
+		for _, w := range writers {
+			w.Close()
+		}
+	}()
+	co := lc.Coordinator
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		completed atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			mix := workload.NewCrossMix(workload.ComplexWorkload(), partitions, cross, rows)
+			reqs := make([]oracle.CommitRequest, batchSize)
+			for !stop.Load() {
+				for i := range reqs {
+					ts, err := co.Begin()
+					if err != nil {
+						return
+					}
+					tx := mix.Next(rng)
+					reqs[i] = oracle.CommitRequest{StartTS: ts}
+					for _, r := range tx.WriteRows() {
+						reqs[i].WriteSet = append(reqs[i].WriteSet, oracle.RowID(r))
+					}
+					if engine == oracle.WSI {
+						for _, r := range tx.ReadRows() {
+							reqs[i].ReadSet = append(reqs[i].ReadSet, oracle.RowID(r))
+						}
+					}
+				}
+				if _, err := co.CommitBatch(reqs); err != nil {
+					return
+				}
+				if measuring.Load() {
+					completed.Add(int64(batchSize))
+				}
+			}
+		}(int64(g)*7919 + int64(partitions)*13 + int64(cross*100))
+	}
+	time.Sleep(measure / 3) // warm up
+	measuring.Store(true)
+	time.Sleep(measure)
+	measuring.Store(false)
+	stop.Store(true)
+	done := completed.Load()
+	wg.Wait()
+	if err := co.DrainDecides(); err != nil {
+		return 0, partition.Stats{}, err
+	}
+	if done == 0 {
+		return 0, partition.Stats{}, fmt.Errorf("scaleout: no completed transactions")
+	}
+	return float64(done) / measure.Seconds(), co.Stats(), nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "scaleout",
+		Title: "Partitioned status oracle: throughput vs partition count and cross-partition traffic",
+		Run: func(quick bool) (string, error) {
+			parts := ScaleoutPartitions
+			cross := scaleoutCross
+			if quick {
+				var trimmed []int
+				for _, p := range ScaleoutPartitions {
+					if p == 1 || p == 4 {
+						trimmed = append(trimmed, p)
+					}
+				}
+				if len(trimmed) > 0 {
+					parts = trimmed
+				}
+				cross = []float64{0.10}
+			}
+
+			var b strings.Builder
+			b.WriteString(header("Partitioned status oracle — scale-out conflict detection (§7)"))
+			b.WriteString("\nA) virtual-time testbed, arbitration-bound (1 ms oracle critical section per\n")
+			b.WriteString("   write commit, cache-resident servers, 500 closed-loop clients):\n\n")
+			fmt.Fprintf(&b, "%-6s %-7s %12s %9s %10s %9s %9s\n",
+				"parts", "cross", "TPS", "speedup", "p99-ms", "aborts", "x-ratio")
+			for _, xf := range cross {
+				var baseline float64
+				for _, p := range parts {
+					r, err := scaleoutClusterPoint(p, xf, quick)
+					if err != nil {
+						return "", err
+					}
+					if p == parts[0] {
+						baseline = r.TPS
+					}
+					speedup := 1.0
+					if baseline > 0 {
+						speedup = r.TPS / baseline
+					}
+					fmt.Fprintf(&b, "%-6d %-7s %12.0f %8.2fx %10.0f %8.1f%% %8.1f%%\n",
+						p, fmt.Sprintf("%.0f%%", xf*100), r.TPS, speedup, r.P99LatencyMS, r.AbortRate*100, r.CrossRatio*100)
+				}
+				b.WriteString("\n")
+			}
+
+			b.WriteString("B) wall-clock coordinator on the durable stack (per-partition replicated\n")
+			b.WriteString("   WALs, shared TSO, real prepare/decide rounds) — absolute single-host\n")
+			b.WriteString("   numbers plus the per-partition protocol counters:\n\n")
+			measure := 1200 * time.Millisecond
+			workers := 8
+			if quick {
+				measure = 400 * time.Millisecond
+				workers = 4
+			}
+			fmt.Fprintf(&b, "%-6s %-7s %12s %9s %12s %12s\n",
+				"parts", "cross", "TPS", "x-ratio", "prepares", "decide-avg")
+			for _, p := range parts {
+				tps, st, err := scaleoutPoint(oracle.WSI, p, workers, 32, 0.10, measure)
+				if err != nil {
+					return "", err
+				}
+				var prepares, decided int64
+				var decideAvg float64
+				for _, ps := range st.Partitions {
+					prepares += ps.Prepares
+					if ps.Decides > 0 {
+						decideAvg += ps.DecideWaitAvg * float64(ps.Decides)
+						decided += ps.Decides
+					}
+				}
+				if decided > 0 {
+					decideAvg /= float64(decided)
+				}
+				fmt.Fprintf(&b, "%-6d %-7s %12.0f %8.1f%% %12d %11.0fµs\n",
+					p, "10%", tps, st.CrossRatio()*100, prepares, decideAvg/1000)
+			}
+
+			b.WriteString("\neach partition owns an independent critical section and WAL; single-\n")
+			b.WriteString("partition commits scale with the partition count, cross-partition commits\n")
+			b.WriteString("pay the two-phase prepare/decide round (x-ratio = fraction routed two-\n")
+			b.WriteString("phase, decide-avg = mean prepare→decide window). speedup is vs the first\n")
+			b.WriteString("partition row of the same cross fraction.\n")
+			return b.String(), nil
+		},
+	})
+}

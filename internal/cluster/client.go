@@ -26,7 +26,13 @@ type client struct {
 func (c *client) begin() {
 	c.beginAt = c.m.sim.Now()
 	c.m.sim.After(c.m.cfg.StartTSMS, func() {
-		ts, err := c.m.so.Begin()
+		var ts uint64
+		var err error
+		if c.m.co != nil {
+			ts, err = c.m.co.Begin()
+		} else {
+			ts, err = c.m.so.Begin()
+		}
 		if err != nil {
 			return // timestamp oracle failed; client stops
 		}
@@ -87,11 +93,11 @@ func (c *client) commit() {
 	cfg := &c.m.cfg
 	req := oracle.CommitRequest{StartTS: c.startTS}
 	for _, row := range c.txn.WriteRows() {
-		req.WriteSet = append(req.WriteSet, oracle.HashRow(rowKey(row)))
+		req.WriteSet = append(req.WriteSet, c.m.rowID(row))
 	}
 	if len(req.WriteSet) > 0 && cfg.Engine == oracle.WSI {
 		for _, row := range c.txn.ReadRows() {
-			req.ReadSet = append(req.ReadSet, oracle.HashRow(rowKey(row)))
+			req.ReadSet = append(req.ReadSet, c.m.rowID(row))
 		}
 	}
 	if len(req.WriteSet) == 0 {
@@ -100,6 +106,10 @@ func (c *client) commit() {
 		c.m.sim.After(cfg.StartTSMS, func() {
 			c.finish(true)
 		})
+		return
+	}
+	if c.m.co != nil {
+		c.commitPartitioned(req)
 		return
 	}
 	// Batched mode parks the request in the group-commit coalescer

@@ -14,6 +14,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/oracle"
+	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/tso"
 	"repro/internal/workload"
@@ -97,6 +98,19 @@ type Config struct {
 	CommitBatch        int
 	CommitBatchDelayMS float64
 
+	// Partitioned status oracle (§7 scale-out). Partitions > 1 replaces
+	// the single status-oracle critical section with that many
+	// independent ones behind a real partition.Coordinator: rows are
+	// range-sliced over the key space, transactions whose rows stay in
+	// one slice pay one critical-section visit and one WAL round trip
+	// exactly as before, and transactions spanning slices pay a
+	// prepare visit on every covering partition plus a second WAL round
+	// trip (the decide). The workload switches to the slice-local cross
+	// mix with CrossFraction of write transactions forced to span two
+	// slices. Partitions <= 1 reproduces the centralized oracle.
+	Partitions    int
+	CrossFraction float64
+
 	// Horizon control.
 	WarmupMS  float64
 	MeasureMS float64
@@ -146,6 +160,9 @@ type Result struct {
 	// BatchSizeAvg is the mean write transactions per oracle batch
 	// (1 when commit batching is off).
 	BatchSizeAvg float64
+	// CrossRatio is the fraction of routed write transactions that
+	// spanned several oracle partitions (0 for the centralized oracle).
+	CrossRatio float64
 	// Server-load imbalance over the measurement window: utilization is
 	// busy-handler-time / (handlers × window). Uniform and (scrambled)
 	// zipfian traffic keeps Max ≈ Mean; zipfianLatest drives Max toward
@@ -154,16 +171,28 @@ type Result struct {
 	MaxServerUtilization  float64
 }
 
+// txnSource abstracts the transaction generator: the §6.1 mixes for the
+// centralized model, the slice-local cross mix for the partitioned one.
+type txnSource interface {
+	Next(r *rand.Rand) workload.Txn
+}
+
 // model is the wired-up simulation state.
 type model struct {
 	cfg     Config
 	sim     *sim.Sim
 	so      *oracle.StatusOracle
 	servers []*server
-	mix     *workload.Mix
+	mix     txnSource
 	gen     workload.Generator
 	soRes   *sim.Resource
 	batcher *commitBatcher // nil unless cfg.CommitBatch > 1
+
+	// Partitioned-oracle state (cfg.Partitions > 1): the real coordinator
+	// supplies decisions and timestamps, partRes models each partition's
+	// independent critical section.
+	co      *partition.Coordinator
+	partRes []*sim.Resource
 
 	measuring bool
 	committed int64
@@ -184,14 +213,35 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Servers <= 0 || cfg.Clients <= 0 {
 		return Result{}, fmt.Errorf("cluster: need servers and clients")
 	}
-	clock := tso.New(0, nil)
-	so, err := oracle.New(oracle.Config{Engine: cfg.Engine, TSO: clock})
-	if err != nil {
-		return Result{}, err
-	}
 	s := sim.New(cfg.Seed)
-	m := &model{cfg: cfg, sim: s, so: so, soRes: sim.NewResource(s, 1)}
+	m := &model{cfg: cfg, sim: s}
+	if cfg.Partitions > 1 {
+		lc, err := partition.NewLocal(partition.LocalConfig{
+			Partitions: cfg.Partitions,
+			Engine:     cfg.Engine,
+			Router:     partition.NewEvenRangeRouter(cfg.Partitions, uint64(cfg.Rows)),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		m.co = lc.Coordinator
+		m.partRes = make([]*sim.Resource, cfg.Partitions)
+		for i := range m.partRes {
+			m.partRes[i] = sim.NewResource(s, 1)
+		}
+	} else {
+		clock := tso.New(0, nil)
+		so, err := oracle.New(oracle.Config{Engine: cfg.Engine, TSO: clock})
+		if err != nil {
+			return Result{}, err
+		}
+		m.so = so
+		m.soRes = sim.NewResource(s, 1)
+	}
 	if cfg.CommitBatch > 1 {
+		if cfg.Partitions > 1 {
+			return Result{}, fmt.Errorf("cluster: CommitBatch and Partitions cannot be combined")
+		}
 		if m.cfg.CommitBatchDelayMS <= 0 {
 			m.cfg.CommitBatchDelayMS = 1.0
 		}
@@ -213,7 +263,13 @@ func Run(cfg Config) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("cluster: unknown distribution %v", cfg.Distribution)
 	}
-	m.mix = workload.NewMix(cfg.Mix, m.gen)
+	if cfg.Partitions > 1 {
+		// Slice-local rows with a dialable cross-partition fraction; the
+		// distribution knob shapes only the centralized model.
+		m.mix = workload.NewCrossMix(cfg.Mix, cfg.Partitions, cfg.CrossFraction, cfg.Rows)
+	} else {
+		m.mix = workload.NewMix(cfg.Mix, m.gen)
+	}
 
 	for i := 0; i < cfg.Clients; i++ {
 		c := &client{m: m, rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))}
@@ -240,8 +296,13 @@ func Run(cfg Config) (Result, error) {
 		res.CacheHitRate = float64(m.hits) / float64(ops)
 	}
 	res.BatchSizeAvg = 1
-	if st := so.Stats(); st.Batches > 0 {
-		res.BatchSizeAvg = st.BatchSizeAvg
+	if m.so != nil {
+		if st := m.so.Stats(); st.Batches > 0 {
+			res.BatchSizeAvg = st.BatchSizeAvg
+		}
+	}
+	if m.co != nil {
+		res.CrossRatio = m.co.Stats().CrossRatio()
 	}
 	capacityMS := float64(cfg.HandlerThreads) * cfg.MeasureMS
 	var sum float64

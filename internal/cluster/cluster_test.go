@@ -253,3 +253,33 @@ func TestBatchedCommitRun(t *testing.T) {
 		t.Fatalf("abort rate %v unreasonably high", res.AbortRate)
 	}
 }
+
+// TestPartitionedRun: the partitioned virtual-time model produces traffic,
+// honours the cross-fraction knob, and a deterministic seed reproduces it.
+func TestPartitionedRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Partitions = 4
+	cfg.CrossFraction = 0.2
+	r := run(t, cfg)
+	if r.Committed == 0 {
+		t.Fatal("no committed transactions")
+	}
+	if r.CrossRatio < 0.1 || r.CrossRatio > 0.35 {
+		t.Fatalf("cross ratio %.3f far from the 0.2 knob", r.CrossRatio)
+	}
+	r2 := run(t, cfg)
+	if r.Committed != r2.Committed || r.Aborted != r2.Aborted {
+		t.Fatalf("partitioned run not deterministic: %+v vs %+v", r, r2)
+	}
+}
+
+// TestPartitionedRejectsBatcher: commit batching and partitioning are
+// separate oracles; combining them is a config error.
+func TestPartitionedRejectsBatcher(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Partitions = 2
+	cfg.CommitBatch = 8
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("CommitBatch + Partitions accepted")
+	}
+}

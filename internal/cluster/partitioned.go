@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"repro/internal/oracle"
+)
+
+// rowID maps a workload row to its status-oracle identifier. The
+// centralized model hashes the store key as real clients do; the
+// partitioned model uses the dense row index directly so the even range
+// router's slices coincide with the cross mix's key slices.
+func (m *model) rowID(row int64) oracle.RowID {
+	if m.co != nil {
+		return oracle.RowID(row)
+	}
+	return oracle.HashRow(rowKey(row))
+}
+
+// commitPartitioned routes a write transaction through the partitioned
+// oracle's timing model. A single-partition transaction visits its
+// partition's critical section once and pays one WAL round trip — the
+// same cost the centralized model charges, now on one of N independent
+// resources. A cross-partition transaction visits every covering
+// partition's critical section (the prepare checks run serially from the
+// coordinator's perspective) and pays two WAL round trips: the prepare
+// group append and the decide. Decisions come from the real coordinator,
+// so abort rates are the protocol's own.
+func (c *client) commitPartitioned(req oracle.CommitRequest) {
+	cfg := &c.m.cfg
+	service := cfg.SOServiceMS
+	if cfg.Engine == oracle.WSI {
+		service *= cfg.WSIServiceFactor
+	}
+	// The coordinator's own cover computation, so the cost model routes
+	// exactly as the protocol will decide.
+	cover := c.m.co.Cover(&req)
+	if len(cover) == 1 {
+		res := c.m.partRes[cover[0]]
+		res.Acquire(func(release func()) {
+			r, err := c.m.co.Commit(req)
+			c.m.sim.After(service, func() {
+				release()
+				if err != nil {
+					return
+				}
+				c.m.sim.After(cfg.CommitMS, func() {
+					c.finish(r.Committed)
+				})
+			})
+		})
+		return
+	}
+	// Prepare hop chain across the covering partitions, then the decide.
+	var hop func(i int)
+	hop = func(i int) {
+		if i == len(cover) {
+			r, err := c.m.co.Commit(req)
+			// Two WAL group commits: the prepares and the decide.
+			c.m.sim.After(2*cfg.CommitMS, func() {
+				if err != nil {
+					return
+				}
+				c.finish(r.Committed)
+			})
+			return
+		}
+		res := c.m.partRes[cover[i]]
+		res.Acquire(func(release func()) {
+			c.m.sim.After(service, func() {
+				release()
+				hop(i + 1)
+			})
+		})
+	}
+	hop(0)
+}

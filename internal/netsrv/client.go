@@ -298,6 +298,68 @@ func (c *Client) Abort(startTS uint64) error {
 	return err
 }
 
+// BeginBlock allocates n consecutive timestamps in one round trip and
+// returns the lowest; the partitioned coordinator draws its
+// commit-timestamp blocks through it.
+func (c *Client) BeginBlock(n int) (uint64, error) {
+	payload, err := c.call(opBeginBlock, u64(uint64(n)))
+	if err != nil {
+		return 0, err
+	}
+	return parseU64(payload)
+}
+
+// PrepareBatch runs phase one of the two-phase partitioned commit on this
+// partition server: one frame carries the batch's prepare slices, one
+// frame returns the votes.
+func (c *Client) PrepareBatch(reqs []oracle.PrepareRequest) ([]bool, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(opPrepareBatch, encodePrepareBatchReq(reqs))
+	if err != nil {
+		return nil, err
+	}
+	votes, err := decodeVotesResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(votes) != len(reqs) {
+		return nil, ErrBadFrame
+	}
+	return votes, nil
+}
+
+// DecideBatch fans a batch of coordinator verdicts to this partition
+// server.
+func (c *Client) DecideBatch(ds []oracle.Decision) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	_, err := c.call(opDecideBatch, encodeDecideBatchReq(ds))
+	return err
+}
+
+// CommitAtBatch one-shot commits single-partition transactions at
+// coordinator-supplied commit timestamps.
+func (c *Client) CommitAtBatch(reqs []oracle.PrepareRequest) ([]oracle.CommitResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(opCommitAtBatch, encodePrepareBatchReq(reqs))
+	if err != nil {
+		return nil, err
+	}
+	results, err := decodeCommitBatchResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(reqs) {
+		return nil, ErrBadFrame
+	}
+	return results, nil
+}
+
 // Query asks for a transaction's status.
 func (c *Client) Query(startTS uint64) oracle.TxnStatus {
 	payload, err := c.call(opQuery, u64(startTS))

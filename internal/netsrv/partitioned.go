@@ -1,0 +1,93 @@
+package netsrv
+
+import (
+	"fmt"
+
+	"repro/internal/oracle"
+	"repro/internal/partition"
+)
+
+// PartitionedClient fronts N partition servers with the single-oracle
+// client surface: it embeds a partition.Coordinator whose backends are the
+// per-partition network clients, so the transaction layer runs unchanged
+// against a scale-out status oracle. Commit requests fan out by key slice
+// (single-partition transactions take one one-shot round trip to their
+// owner; cross-partition transactions run the two-phase prepare/decide
+// protocol), and status queries fan out to every partition and merge.
+//
+// Partition 0's server doubles as the timestamp authority: Begin and the
+// coordinator's commit-timestamp blocks are allocated there, which keeps
+// the whole deployment on one monotonic timestamp stream. Run exactly one
+// PartitionedClient per coordinator role — the begin barrier that keeps
+// snapshots from observing half-published commits is coordinator-local, so
+// independent coordinators over the same partitions would not be fenced
+// against each other.
+type PartitionedClient struct {
+	*partition.Coordinator
+	clients []*Client
+}
+
+// remoteClock adapts the timestamp partition's client to partition.Clock.
+type remoteClock struct {
+	c *Client
+}
+
+func (rc remoteClock) Next() (uint64, error)           { return rc.c.Begin() }
+func (rc remoteClock) NextBlock(n int) (uint64, error) { return rc.c.BeginBlock(n) }
+
+// DialPartitioned connects to every partition server (addrs indexed as the
+// router numbers partitions) and returns the coordinator-fronted client.
+func DialPartitioned(engine oracle.Engine, router partition.Router, addrs ...string) (*PartitionedClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netsrv: DialPartitioned needs at least one address")
+	}
+	if router == nil {
+		router = partition.NewHashRouter(len(addrs))
+	}
+	if router.Partitions() != len(addrs) {
+		return nil, fmt.Errorf("netsrv: router covers %d partitions, have %d addresses",
+			router.Partitions(), len(addrs))
+	}
+	clients := make([]*Client, len(addrs))
+	backends := make([]partition.Backend, len(addrs))
+	for i, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("netsrv: dial partition %d (%s): %w", i, addr, err)
+		}
+		clients[i] = c
+		backends[i] = c
+	}
+	co, err := partition.NewCoordinator(partition.Config{
+		Engine:   engine,
+		Router:   router,
+		Backends: backends,
+		Clock:    remoteClock{clients[0]},
+	})
+	if err != nil {
+		for _, c := range clients {
+			c.Close()
+		}
+		return nil, err
+	}
+	return &PartitionedClient{Coordinator: co, clients: clients}, nil
+}
+
+// Clients exposes the per-partition network clients (orchestration and
+// stats tooling).
+func (pc *PartitionedClient) Clients() []*Client { return pc.clients }
+
+// Close tears down the coordinator and every partition connection.
+func (pc *PartitionedClient) Close() error {
+	pc.Coordinator.Close()
+	var firstErr error
+	for _, c := range pc.clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

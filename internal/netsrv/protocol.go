@@ -42,6 +42,14 @@ const (
 	// opPromote asks a standby server to run its fenced promotion and
 	// begin serving. Idempotent on an already-serving server.
 	opPromote = 11
+	// The partitioned-oracle ops (internal/partition): phase one and two
+	// of the cross-partition commit protocol, the one-shot fast path at
+	// coordinator-supplied timestamps, and block allocation of timestamps
+	// from the shared clock.
+	opPrepareBatch  = 12
+	opDecideBatch   = 13
+	opCommitAtBatch = 14
+	opBeginBlock    = 15
 )
 
 // Role bytes carried by opHealth / opPromote responses.
@@ -351,11 +359,14 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 	return statuses, nil
 }
 
-// statsPayloadLen is the fixed size of an opStats response: 15 fields of 8
+// statsPayloadLen is the fixed size of an opStats response: 20 fields of 8
 // bytes (counters as u64, averages as IEEE-754 bits). Fields 11–14 are the
 // availability counters: checkpoints written, last checkpoint bound,
 // records replayed by the last recovery, and its duration in nanoseconds.
-const statsPayloadLen = 15 * 8
+// Fields 15–19 are the partition counters: prepares checked, prepare no
+// votes, decides applied, mean prepare→decide wait, and the fraction of
+// write transactions that arrived through the two-phase path.
+const statsPayloadLen = 20 * 8
 
 // encodeStats renders the oracle counters in wire order.
 func encodeStats(st oracle.Stats) []byte {
@@ -370,6 +381,11 @@ func encodeStats(st oracle.Stats) []byte {
 	for i, v := range []int64{st.Checkpoints, st.LastCheckpointTS, st.ReplayedRecords, st.RecoveryNanos} {
 		binary.BigEndian.PutUint64(out[(11+i)*8:], uint64(v))
 	}
+	for i, v := range []int64{st.Prepares, st.PrepareNoVotes, st.Decides} {
+		binary.BigEndian.PutUint64(out[(15+i)*8:], uint64(v))
+	}
+	binary.BigEndian.PutUint64(out[18*8:], math.Float64bits(st.DecideWaitAvg))
+	binary.BigEndian.PutUint64(out[19*8:], math.Float64bits(st.CrossPartitionRatio))
 	return out
 }
 
@@ -379,22 +395,165 @@ func decodeStats(b []byte) (oracle.Stats, error) {
 	}
 	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(b[i*8:])) }
 	return oracle.Stats{
-		Begins:            v(0),
-		Commits:           v(1),
-		ReadOnlyCommits:   v(2),
-		ConflictAborts:    v(3),
-		TmaxAborts:        v(4),
-		ExplicitAborts:    v(5),
-		Batches:           v(6),
-		BatchSizeAvg:      math.Float64frombits(binary.BigEndian.Uint64(b[7*8:])),
-		Queries:           v(8),
-		QueryBatches:      v(9),
-		QueryBatchSizeAvg: math.Float64frombits(binary.BigEndian.Uint64(b[10*8:])),
-		Checkpoints:       v(11),
-		LastCheckpointTS:  v(12),
-		ReplayedRecords:   v(13),
-		RecoveryNanos:     v(14),
+		Begins:              v(0),
+		Commits:             v(1),
+		ReadOnlyCommits:     v(2),
+		ConflictAborts:      v(3),
+		TmaxAborts:          v(4),
+		ExplicitAborts:      v(5),
+		Batches:             v(6),
+		BatchSizeAvg:        math.Float64frombits(binary.BigEndian.Uint64(b[7*8:])),
+		Queries:             v(8),
+		QueryBatches:        v(9),
+		QueryBatchSizeAvg:   math.Float64frombits(binary.BigEndian.Uint64(b[10*8:])),
+		Checkpoints:         v(11),
+		LastCheckpointTS:    v(12),
+		ReplayedRecords:     v(13),
+		RecoveryNanos:       v(14),
+		Prepares:            v(15),
+		PrepareNoVotes:      v(16),
+		Decides:             v(17),
+		DecideWaitAvg:       math.Float64frombits(binary.BigEndian.Uint64(b[18*8:])),
+		CrossPartitionRatio: math.Float64frombits(binary.BigEndian.Uint64(b[19*8:])),
 	}, nil
+}
+
+// encodePrepareReq renders one prepare slice: startTS, commitTS, write
+// rows, read rows. Prepare-batch and commit-at-batch payloads are a
+// count-prefixed concatenation of these.
+func encodePrepareReq(b []byte, req oracle.PrepareRequest) []byte {
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], req.StartTS)
+	binary.BigEndian.PutUint64(hdr[8:], req.CommitTS)
+	b = append(b, hdr[:]...)
+	b = appendRows(b, req.WriteSet)
+	b = appendRows(b, req.ReadSet)
+	return b
+}
+
+func parsePrepareReq(b []byte) (oracle.PrepareRequest, []byte, error) {
+	if len(b) < 16 {
+		return oracle.PrepareRequest{}, nil, ErrBadFrame
+	}
+	req := oracle.PrepareRequest{
+		StartTS:  binary.BigEndian.Uint64(b[:8]),
+		CommitTS: binary.BigEndian.Uint64(b[8:16]),
+	}
+	var err error
+	rest := b[16:]
+	req.WriteSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.PrepareRequest{}, nil, err
+	}
+	req.ReadSet, rest, err = parseRows(rest)
+	if err != nil {
+		return oracle.PrepareRequest{}, nil, err
+	}
+	return req, rest, nil
+}
+
+// encodePrepareBatchReq renders a batch of prepare slices (also the
+// commit-at-batch payload): count(u32) + concatenated encodings.
+func encodePrepareBatchReq(reqs []oracle.PrepareRequest) []byte {
+	b := make([]byte, 4, 4+len(reqs)*40)
+	binary.BigEndian.PutUint32(b, uint32(len(reqs)))
+	for i := range reqs {
+		b = encodePrepareReq(b, reqs[i])
+	}
+	return b
+}
+
+func decodePrepareBatchReq(b []byte) ([]oracle.PrepareRequest, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	// Each request is at least 24 bytes (two timestamps + two empty row
+	// sets).
+	if uint64(count)*24 > uint64(len(rest)) {
+		return nil, ErrBadFrame
+	}
+	reqs := make([]oracle.PrepareRequest, count)
+	var err error
+	for i := range reqs {
+		reqs[i], rest, err = parsePrepareReq(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadFrame
+	}
+	return reqs, nil
+}
+
+// encodeVotesResp renders prepare votes: count(u32) + one byte per vote.
+func encodeVotesResp(votes []bool) []byte {
+	b := make([]byte, 4, 4+len(votes))
+	binary.BigEndian.PutUint32(b, uint32(len(votes)))
+	for _, v := range votes {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func decodeVotesResp(b []byte) ([]bool, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(len(rest)) != uint64(count) {
+		return nil, ErrBadFrame
+	}
+	votes := make([]bool, count)
+	for i := range votes {
+		votes[i] = rest[i] == 1
+	}
+	return votes, nil
+}
+
+// encodeDecideBatchReq renders a batch of verdicts: count(u32), then per
+// decision commit(u8) startTS(u64) commitTS(u64).
+func encodeDecideBatchReq(ds []oracle.Decision) []byte {
+	b := make([]byte, 4, 4+len(ds)*17)
+	binary.BigEndian.PutUint32(b, uint32(len(ds)))
+	for _, d := range ds {
+		var e [17]byte
+		if d.Commit {
+			e[0] = 1
+		}
+		binary.BigEndian.PutUint64(e[1:9], d.StartTS)
+		binary.BigEndian.PutUint64(e[9:17], d.CommitTS)
+		b = append(b, e[:]...)
+	}
+	return b
+}
+
+func decodeDecideBatchReq(b []byte) ([]oracle.Decision, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(len(rest)) != uint64(count)*17 {
+		return nil, ErrBadFrame
+	}
+	ds := make([]oracle.Decision, count)
+	for i := range ds {
+		ds[i] = oracle.Decision{
+			Commit:   rest[0] == 1,
+			StartTS:  binary.BigEndian.Uint64(rest[1:9]),
+			CommitTS: binary.BigEndian.Uint64(rest[9:17]),
+		}
+		rest = rest[17:]
+	}
+	return ds, nil
 }
 
 // encodeEvent renders an event frame body.

@@ -38,6 +38,14 @@ type Server struct {
 	// log.Printf; tests silence it).
 	Logf func(format string, args ...interface{})
 
+	// OwnsRow, when set, marks this server as one partition of a
+	// partitioned status oracle: commit, prepare and one-shot requests
+	// whose rows the router did not assign here are rejected before they
+	// can corrupt the partition's slice of the conflict state (a
+	// misconfigured client is the partitioned deployment's analogue of a
+	// corrupt frame). Set before Listen.
+	OwnsRow func(oracle.RowID) bool
+
 	// CoalesceMaxBatch, when > 0, enables the server-side coalescers:
 	// concurrent single-commit frames are accumulated into oracle commit
 	// batches of up to this size, and concurrent single-query frames into
@@ -303,6 +311,54 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 			return respError(reqID, err)
 		}
 		return respOK(reqID, encodeQueryBatchResp(so.QueryBatch(startTSs)))
+	case opPrepareBatch:
+		reqs, err := decodePrepareBatchReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := s.checkOwnership(reqs); err != nil {
+			return respError(reqID, err)
+		}
+		votes, err := so.PrepareBatch(reqs)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, encodeVotesResp(votes))
+	case opDecideBatch:
+		ds, err := decodeDecideBatchReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := so.DecideBatch(ds); err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, nil)
+	case opCommitAtBatch:
+		reqs, err := decodePrepareBatchReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := s.checkOwnership(reqs); err != nil {
+			return respError(reqID, err)
+		}
+		results, err := so.CommitAtBatch(reqs)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, encodeCommitBatchResp(results))
+	case opBeginBlock:
+		n, err := parseU64(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if n == 0 || n > 1<<20 {
+			return respError(reqID, ErrBadFrame)
+		}
+		lo, err := so.BeginBlock(int(n))
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return respOK(reqID, u64(lo))
 	case opForget:
 		ts, err := parseU64(payload)
 		if err != nil {
@@ -315,6 +371,30 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}
+}
+
+// ErrMisrouted reports rows sent to a partition that does not own them.
+var ErrMisrouted = errors.New("netsrv: request carries rows this partition does not own")
+
+// checkOwnership rejects prepare/one-shot slices carrying rows the router
+// did not assign to this partition.
+func (s *Server) checkOwnership(reqs []oracle.PrepareRequest) error {
+	if s.OwnsRow == nil {
+		return nil
+	}
+	for i := range reqs {
+		for _, r := range reqs[i].WriteSet {
+			if !s.OwnsRow(r) {
+				return ErrMisrouted
+			}
+		}
+		for _, r := range reqs[i].ReadSet {
+			if !s.OwnsRow(r) {
+				return ErrMisrouted
+			}
+		}
+	}
+	return nil
 }
 
 // handlePromote runs the standby's promotion callback (fencing the old

@@ -121,24 +121,12 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 	}
 	for _, i := range writeIdx {
 		req := &reqs[i]
-		checkRows := req.WriteSet // SI: write-write conflicts
-		if s.cfg.Engine == WSI {
-			checkRows = req.ReadSet // WSI: read-write conflicts
-		}
-		conflict, tmaxAbort := false, false
-		for _, r := range checkRows {
-			sh := s.shards[s.shardOf(r)]
-			if tc, ok := sh.lastCommit[r]; ok {
-				if tc > req.StartTS {
-					conflict = true
-					break
-				}
-			} else if sh.tmax > req.StartTS {
-				conflict = true
-				tmaxAbort = true
-				break
-			}
-		}
+		// checkConflict applies the engine's rule (SI: write set vs
+		// lastCommit; WSI: read set vs lastCommit) and additionally aborts
+		// on overlap with the prepared rows of in-flight cross-partition
+		// transactions (prepare.go) — absent any prepares it is exactly
+		// the original Algorithm 3 check.
+		conflict, tmaxAbort := s.checkConflict(req.StartTS, req.WriteSet, req.ReadSet)
 		if conflict {
 			aborts = append(aborts, batchAbort{idx: i, tmax: tmaxAbort})
 			continue

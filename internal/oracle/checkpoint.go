@@ -31,6 +31,20 @@ type checkpointState struct {
 	Aborted  []uint64
 	Order    []uint64 // commit-table eviction FIFO (bounded mode only)
 	Shards   []shardState
+	// Prepared carries the in-flight two-phase transactions (prepare.go)
+	// whose recPrepare records lie before this checkpoint: without it, a
+	// bounded replay would lose their prepared row locks and in-doubt
+	// status, and a decide arriving after recovery could no longer fold
+	// their write sets into lastCommit.
+	Prepared []preparedSnap
+}
+
+// preparedSnap is one in-flight prepared transaction inside a checkpoint.
+type preparedSnap struct {
+	StartTS  uint64
+	CommitTS uint64
+	WriteSet []RowID
+	ReadSet  []RowID
 }
 
 type commitPair struct {
@@ -63,10 +77,16 @@ func CheckpointBound(entry []byte) (bound uint64, ok bool) {
 //	| [4] nShards  | per shard: [8] tmax
 //	                 | [4] nRows  | nRows × ([8] row [8] ts)
 //	                 | [4] qLen   | qLen  × ([8] row [8] ts)
+//	| [4] nPrepared | per prepare: [8] startTS [8] commitTS
+//	                 | [4] nW | nW×[8] rows | [4] nR | nR×[8] rows
 func encodeCheckpointRecord(cp *checkpointState) []byte {
 	size := 1 + 8 + 8 + 4 + 16*len(cp.Commits) + 4 + 8*len(cp.Aborted) + 4 + 8*len(cp.Order) + 4
 	for i := range cp.Shards {
 		size += 8 + 4 + 16*len(cp.Shards[i].Rows) + 4 + 16*len(cp.Shards[i].Queue)
+	}
+	size += 4
+	for i := range cp.Prepared {
+		size += 8 + 8 + 4 + 8*len(cp.Prepared[i].WriteSet) + 4 + 8*len(cp.Prepared[i].ReadSet)
 	}
 	b := make([]byte, 0, size)
 	b = append(b, recCheckpoint)
@@ -99,6 +119,14 @@ func encodeCheckpointRecord(cp *checkpointState) []byte {
 			b = appendU64(b, uint64(e.row))
 			b = appendU64(b, e.ts)
 		}
+	}
+	b = appendU32(b, uint32(len(cp.Prepared)))
+	for i := range cp.Prepared {
+		p := &cp.Prepared[i]
+		b = appendU64(b, p.StartTS)
+		b = appendU64(b, p.CommitTS)
+		b = appendRowSet(b, p.WriteSet)
+		b = appendRowSet(b, p.ReadSet)
 	}
 	return b
 }
@@ -156,6 +184,24 @@ func (r *checkpointReader) entries(n uint32) []evictEntry {
 	return out
 }
 
+func (r *checkpointReader) rows(n uint32) []RowID {
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < uint64(n)*8 {
+		r.err = fmt.Errorf("oracle: checkpoint record truncated")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]RowID, n)
+	for i := range out {
+		out[i] = RowID(r.u64())
+	}
+	return out
+}
+
 func decodeCheckpointRecord(b []byte) (*checkpointState, error) {
 	if len(b) < 1 || b[0] != recCheckpoint {
 		return nil, fmt.Errorf("oracle: not a checkpoint record")
@@ -185,6 +231,22 @@ func decodeCheckpointRecord(b []byte) (*checkpointState, error) {
 		sh.Rows = r.entries(r.u32())
 		sh.Queue = r.entries(r.u32())
 		cp.Shards = append(cp.Shards, sh)
+	}
+	if r.err == nil && len(r.b) == 0 {
+		// A checkpoint written before the partitioned-oracle protocol has
+		// no Prepared section; recovery of a pre-upgrade ledger must not
+		// fail on it. (No prepares could have been in flight then.)
+		return cp, nil
+	}
+	n = r.u32()
+	cp.Prepared = make([]preparedSnap, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var p preparedSnap
+		p.StartTS = r.u64()
+		p.CommitTS = r.u64()
+		p.WriteSet = r.rows(r.u32())
+		p.ReadSet = r.rows(r.u32())
+		cp.Prepared = append(cp.Prepared, p)
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -231,6 +293,18 @@ func (s *StatusOracle) captureCheckpoint(tsoBound uint64) *checkpointState {
 		sh.mu.Unlock()
 		sort.Slice(st.Rows, func(a, b int) bool { return st.Rows[a].row < st.Rows[b].row })
 	}
+	s.prepMu.Lock()
+	cp.Prepared = make([]preparedSnap, 0, len(s.prepared))
+	for start, pt := range s.prepared {
+		cp.Prepared = append(cp.Prepared, preparedSnap{
+			StartTS:  start,
+			CommitTS: pt.commitTS,
+			WriteSet: pt.writeSet,
+			ReadSet:  pt.readSet,
+		})
+	}
+	s.prepMu.Unlock()
+	sort.Slice(cp.Prepared, func(a, b int) bool { return cp.Prepared[a].StartTS < cp.Prepared[b].StartTS })
 	return cp
 }
 
@@ -273,7 +347,22 @@ func (s *StatusOracle) applyCheckpoint(cp *checkpointState) error {
 		}
 		sh.queue = append([]evictEntry(nil), st.Queue...)
 		sh.tmax = st.Tmax
+		// The prepared refcounts are re-derived from the snapshot below.
+		sh.preparedW = nil
+		sh.preparedR = nil
 		sh.mu.Unlock()
+	}
+	s.prepMu.Lock()
+	s.prepared = make(map[uint64]*preparedTxn, len(cp.Prepared))
+	s.prepMu.Unlock()
+	for i := range cp.Prepared {
+		p := &cp.Prepared[i]
+		s.applyPrepareEntry(&PrepareRequest{
+			StartTS:  p.StartTS,
+			CommitTS: p.CommitTS,
+			WriteSet: p.WriteSet,
+			ReadSet:  p.ReadSet,
+		})
 	}
 	return nil
 }

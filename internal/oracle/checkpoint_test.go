@@ -297,3 +297,37 @@ func TestCheckpointDuringConcurrentCommits(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointDecodeLegacyRecord: checkpoints written before the
+// partitioned-oracle protocol end at the shards section; recovery of a
+// pre-upgrade ledger must decode them (as zero in-flight prepares)
+// rather than fail (regression).
+func TestCheckpointDecodeLegacyRecord(t *testing.T) {
+	cp := &checkpointState{
+		TSOBound: 7,
+		LowWater: 3,
+		Commits:  []commitPair{{StartTS: 1, CommitTS: 2}},
+		Aborted:  []uint64{5},
+		Shards:   []shardState{{Tmax: 4, Rows: []evictEntry{{row: 9, ts: 2}}}},
+	}
+	rec := encodeCheckpointRecord(cp)
+	// Strip the trailing empty Prepared section to reproduce the legacy
+	// layout.
+	legacy := rec[:len(rec)-4]
+	got, err := decodeCheckpointRecord(legacy)
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if len(got.Prepared) != 0 || got.TSOBound != 7 || len(got.Commits) != 1 || got.Shards[0].Tmax != 4 {
+		t.Fatalf("legacy checkpoint decoded wrong: %+v", got)
+	}
+	// The current format still round-trips, prepared section included.
+	cp.Prepared = []preparedSnap{{StartTS: 11, CommitTS: 12, WriteSet: []RowID{9}}}
+	got2, err := decodeCheckpointRecord(encodeCheckpointRecord(cp))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(got2.Prepared) != 1 || got2.Prepared[0].StartTS != 11 {
+		t.Fatalf("prepared section lost: %+v", got2)
+	}
+}

@@ -131,6 +131,12 @@ type StatusOracle struct {
 	table  *commitTable
 	bcast  *broadcaster
 	stats  statsCollector
+	// prepared indexes in-flight two-phase transactions by start timestamp
+	// (see prepare.go); the per-row refcounts live on the shards so the
+	// conflict check reaches them under the locks it already holds. prepMu
+	// is innermost: it is only ever taken alone or inside shard locks.
+	prepMu   sync.Mutex
+	prepared map[uint64]*preparedTxn
 	// ckptMu excludes a checkpoint capture from every mutation's window
 	// between publishing in-memory state and appending its WAL record:
 	// mutators (CommitBatch, Abort) hold it shared across that whole
@@ -152,10 +158,11 @@ func New(cfg Config) (*StatusOracle, error) {
 		cfg.Shards = 1
 	}
 	s := &StatusOracle{
-		cfg:   cfg,
-		tso:   cfg.TSO,
-		table: newCommitTable(cfg.MaxCommits),
-		bcast: newBroadcaster(),
+		cfg:      cfg,
+		tso:      cfg.TSO,
+		table:    newCommitTable(cfg.MaxCommits),
+		bcast:    newBroadcaster(),
+		prepared: make(map[uint64]*preparedTxn),
 	}
 	perShard := 0
 	if cfg.MaxRows > 0 {
@@ -297,6 +304,12 @@ type shard struct {
 	queue      []evictEntry // FIFO of insertions for NR-bounded eviction
 	capacity   int
 	tmax       uint64
+	// Prepared-row refcounts of the two-phase protocol (prepare.go):
+	// in-flight prepared writers and — under WSI — prepared readers of
+	// each row. Allocated lazily so the unpartitioned path never pays
+	// for them.
+	preparedW map[RowID]int
+	preparedR map[RowID]int
 }
 
 type evictEntry struct {
@@ -340,4 +353,27 @@ func (sh *shard) update(r RowID, ts uint64) {
 			}
 		}
 	}
+}
+
+// updateMax is update for pre-allocated commit timestamps, which may apply
+// out of commit order (a cross-partition decide can land after a later
+// one-shot commit of the same row): it never lowers a row's retained
+// timestamp, so the conflict check's view of the latest committed writer
+// stays monotone. Caller holds sh.mu.
+func (sh *shard) updateMax(r RowID, ts uint64) {
+	if cur, ok := sh.lastCommit[r]; ok {
+		// Equality reapplies: a write set may list a row twice, and the
+		// live path's unconditional update records one eviction-queue
+		// entry per occurrence — replay must match it entry for entry.
+		if cur > ts {
+			return
+		}
+	} else if ts <= sh.tmax {
+		// The row is absent because eviction already raised tmax past ts;
+		// reinstating it at a lower timestamp would weaken the Tmax
+		// pessimism and could hide the row's true (evicted, higher)
+		// last-commit timestamp from the conflict check.
+		return
+	}
+	sh.update(r, ts)
 }

@@ -301,6 +301,18 @@ func (s *StatusOracle) ApplyLogEntry(entry []byte) (applied bool, err error) {
 			return false, err
 		}
 		s.table.addAbort(startTS)
+	case recPrepare:
+		req, err := decodePrepareRecord(entry)
+		if err != nil {
+			return false, err
+		}
+		s.applyPrepareEntry(req)
+	case recDecide:
+		d, writeSet, err := decodeDecideRecord(entry)
+		if err != nil {
+			return false, err
+		}
+		s.applyDecideEntry(d, writeSet)
 	case recCheckpoint:
 		cp, err := decodeCheckpointRecord(entry)
 		if err != nil {
@@ -326,12 +338,15 @@ func (s *StatusOracle) Promote(clock *tso.Oracle, w *wal.Writer) {
 }
 
 // replayCommit reapplies one recovered commit to lastCommit and the commit
-// table.
+// table. updateMax, not update: with pre-allocated commit timestamps a
+// decide may have been appended after a later-timestamped one-shot commit
+// of the same row, so log order is not commit-timestamp order and a replay
+// must never lower a row's retained timestamp.
 func (s *StatusOracle) replayCommit(startTS, commitTS uint64, writeSet []RowID) {
 	for _, r := range writeSet {
 		sh := s.shards[s.shardOf(r)]
 		sh.mu.Lock()
-		sh.update(r, commitTS)
+		sh.updateMax(r, commitTS)
 		sh.mu.Unlock()
 	}
 	s.table.addCommit(startTS, commitTS)

@@ -31,22 +31,36 @@ import (
 // RecoveryNanos report how much WAL the last Recover actually replayed and
 // how long it took — with periodic checkpoints, both are bounded by the
 // checkpoint interval rather than the history length.
+// The partition counters describe this oracle's role in the two-phase
+// partitioned commit protocol (prepare.go): Prepares counts prepare
+// requests conflict-checked here (each cross-partition transaction counts
+// once per covering partition), PrepareNoVotes the prepares that voted no,
+// Decides the coordinator verdicts applied, DecideWaitAvg the mean
+// prepare→decide latency in nanoseconds (the window a transaction's rows
+// stay parked in the prepared set), and CrossPartitionRatio the fraction
+// of this partition's write transactions that arrived through the
+// two-phase path rather than a one-shot commit batch.
 type Stats struct {
-	Begins            int64
-	Commits           int64
-	ReadOnlyCommits   int64
-	ConflictAborts    int64
-	TmaxAborts        int64
-	ExplicitAborts    int64
-	Batches           int64
-	BatchSizeAvg      float64
-	Queries           int64
-	QueryBatches      int64
-	QueryBatchSizeAvg float64
-	Checkpoints       int64
-	LastCheckpointTS  int64
-	ReplayedRecords   int64
-	RecoveryNanos     int64
+	Begins              int64
+	Commits             int64
+	ReadOnlyCommits     int64
+	ConflictAborts      int64
+	TmaxAborts          int64
+	ExplicitAborts      int64
+	Batches             int64
+	BatchSizeAvg        float64
+	Queries             int64
+	QueryBatches        int64
+	QueryBatchSizeAvg   float64
+	Checkpoints         int64
+	LastCheckpointTS    int64
+	ReplayedRecords     int64
+	RecoveryNanos       int64
+	Prepares            int64
+	PrepareNoVotes      int64
+	Decides             int64
+	DecideWaitAvg       float64
+	CrossPartitionRatio float64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in
@@ -62,9 +76,10 @@ func (s Stats) AbortRate() float64 {
 }
 
 type statsCollector struct {
-	mu        sync.Mutex
-	s         Stats
-	batchTxns int64 // write transactions across all batches
+	mu          sync.Mutex
+	s           Stats
+	batchTxns   int64 // write transactions across all batches
+	decideNanos int64 // summed prepare→decide wait across all decides
 
 	// The read-path counters are atomics, not mutex-guarded: status
 	// lookups are the contention-free path the striped commit table
@@ -76,6 +91,33 @@ type statsCollector struct {
 func (c *statsCollector) begin() {
 	c.mu.Lock()
 	c.s.Begins++
+	c.mu.Unlock()
+}
+
+// begins records a block allocation of n start timestamps.
+func (c *statsCollector) begins(n int64) {
+	c.mu.Lock()
+	c.s.Begins += n
+	c.mu.Unlock()
+}
+
+// applyPrepares records one PrepareBatch invocation: n prepares checked,
+// noVotes of them rejected.
+func (c *statsCollector) applyPrepares(n, noVotes int64) {
+	c.mu.Lock()
+	c.s.Prepares += n
+	c.s.PrepareNoVotes += noVotes
+	c.mu.Unlock()
+}
+
+// applyDecides records one DecideBatch invocation: commits and aborts
+// applied, the summed prepare→decide wait, and the decision count.
+func (c *statsCollector) applyDecides(commits, aborts, waitNanos, n int64) {
+	c.mu.Lock()
+	c.s.Commits += commits
+	c.s.ConflictAborts += aborts
+	c.s.Decides += n
+	c.decideNanos += waitNanos
 	c.mu.Unlock()
 }
 
@@ -141,6 +183,12 @@ func (c *statsCollector) snapshot() Stats {
 	s.QueryBatches = c.queryBatches.Load()
 	if s.QueryBatches > 0 {
 		s.QueryBatchSizeAvg = float64(s.Queries) / float64(s.QueryBatches)
+	}
+	if s.Decides > 0 {
+		s.DecideWaitAvg = float64(c.decideNanos) / float64(s.Decides)
+	}
+	if total := s.Prepares + c.batchTxns; total > 0 {
+		s.CrossPartitionRatio = float64(s.Prepares) / float64(total)
 	}
 	return s
 }

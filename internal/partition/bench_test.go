@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// BenchmarkPartitionedCommit measures the coordinator's commit path per
+// transaction (no WAL — pure arbitration) across partition counts and
+// cross-partition fractions. The interesting comparison is the per-
+// transaction overhead of routing + the two-phase path vs the plain
+// oracle's CommitBatch, not parallel speedup (b.N runs on one goroutine).
+func BenchmarkPartitionedCommit(b *testing.B) {
+	const rows = 1 << 20
+	for _, parts := range []int{1, 4} {
+		for _, cross := range []float64{0, 0.1} {
+			if parts == 1 && cross > 0 {
+				continue
+			}
+			name := fmt.Sprintf("parts=%d/cross=%.0f%%", parts, cross*100)
+			b.Run(name, func(b *testing.B) {
+				lc, err := NewLocal(LocalConfig{
+					Partitions: parts,
+					Engine:     oracle.WSI,
+					Router:     NewEvenRangeRouter(parts, rows),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				co := lc.Coordinator
+				rng := rand.New(rand.NewSource(1))
+				mix := workload.NewCrossMix(workload.ComplexWorkload(), parts, cross, rows)
+				const batch = 32
+				reqs := make([]oracle.CommitRequest, batch)
+				b.ResetTimer()
+				for n := 0; n < b.N; n += batch {
+					for i := range reqs {
+						ts, err := co.Begin()
+						if err != nil {
+							b.Fatal(err)
+						}
+						tx := mix.Next(rng)
+						reqs[i] = oracle.CommitRequest{StartTS: ts}
+						for _, r := range tx.WriteRows() {
+							reqs[i].WriteSet = append(reqs[i].WriteSet, oracle.RowID(r))
+						}
+						for _, r := range tx.ReadRows() {
+							reqs[i].ReadSet = append(reqs[i].ReadSet, oracle.RowID(r))
+						}
+					}
+					if _, err := co.CommitBatch(reqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPrepareDecide measures one prepare+decide round on a single
+// partition — the partition-side cost a cross-partition transaction adds.
+func BenchmarkPrepareDecide(b *testing.B) {
+	lc, err := NewLocal(LocalConfig{Partitions: 1, Engine: oracle.WSI})
+	if err != nil {
+		b.Fatal(err)
+	}
+	so := lc.Partitions[0]
+	clock := lc.TSO
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ts := clock.MustNext()
+		ct := clock.MustNext()
+		votes, err := so.PrepareBatch([]oracle.PrepareRequest{{
+			StartTS:  ts,
+			CommitTS: ct,
+			WriteSet: []oracle.RowID{oracle.RowID(n), oracle.RowID(n + 1)},
+			ReadSet:  []oracle.RowID{oracle.RowID(n + 2)},
+		}})
+		if err != nil || !votes[0] {
+			b.Fatalf("prepare: votes=%v err=%v", votes, err)
+		}
+		if err := so.DecideBatch([]oracle.Decision{{StartTS: ts, CommitTS: ct, Commit: true}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,889 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/oracle"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Engine must match the partitions' conflict-detection engine; the
+	// coordinator needs it to know which rows a transaction's conflict
+	// check covers (write set under SI, read set under WSI) when slicing
+	// requests across partitions.
+	Engine oracle.Engine
+	// Router maps rows to partitions. Defaults to hash routing.
+	Router Router
+	// Backends are the partitions, indexed as the Router numbers them.
+	Backends []Backend
+	// Clock is the shared timestamp authority.
+	Clock Clock
+	// SharedTSO marks the backends as in-process oracles built on Clock's
+	// own timestamp oracle: single-partition transactions then go through
+	// the partition's existing CommitBatch fast path, which allocates and
+	// publishes commit timestamps atomically. When false (remote
+	// partitions), the coordinator pre-allocates commit timestamps and
+	// uses the one-shot CommitAtBatch path instead.
+	SharedTSO bool
+	// DecisionLog records two-phase verdicts; nil creates an in-memory
+	// log (no coordinator-crash durability).
+	DecisionLog *DecisionLog
+	// AsyncDecide acknowledges a cross-partition commit as soon as its
+	// verdict is recorded (shared mode: published in the timestamp
+	// oracle's critical section and appended to the decision log), fanning
+	// the decides out in the background: the ack no longer pays the decide
+	// round trip, readers resolve the window through the decision log, and
+	// a crashed partition recovers the commit from its in-doubt prepare
+	// plus the log. The cost is that prepared-row locks are held a little
+	// longer (slightly more pessimistic aborts) and partition state lags
+	// the ack by one fan-out — call DrainDecides before inspecting
+	// partitions directly.
+	AsyncDecide bool
+}
+
+// Stats aggregates the coordinator's own counters with a snapshot of every
+// partition's oracle counters.
+type Stats struct {
+	// Begins counts start timestamps issued through the coordinator.
+	Begins int64
+	// SingleTxns and CrossTxns split the write transactions the
+	// coordinator routed by whether their row sets spanned one partition
+	// or several; CrossCommits/CrossAborts are the two-phase verdicts.
+	SingleTxns   int64
+	CrossTxns    int64
+	CrossCommits int64
+	CrossAborts  int64
+	// Partitions holds each partition's own Stats (prepares, decide
+	// latency, cross-partition ratio, ...), indexed as the router numbers
+	// them. Partitions that failed to answer hold zero values.
+	Partitions []oracle.Stats
+}
+
+// CrossRatio returns the fraction of routed write transactions that
+// spanned several partitions.
+func (s Stats) CrossRatio() float64 {
+	if total := s.SingleTxns + s.CrossTxns; total > 0 {
+		return float64(s.CrossTxns) / float64(total)
+	}
+	return 0
+}
+
+// Coordinator fronts N status-oracle partitions with the single-oracle
+// interface: it satisfies txn.Arbiter (plus the batching, forgetting,
+// subscribing and status-resolving extensions), so the transaction layer
+// runs unchanged on top of a partitioned oracle.
+type Coordinator struct {
+	cfg    Config
+	router Router
+	parts  []Backend
+	clock  Clock
+	dlog   *DecisionLog
+
+	// allocMu serializes timestamp allocation with outstanding-set
+	// marking, so every start timestamp observes the outstanding marks of
+	// all commit timestamps allocated before it — the begin barrier's
+	// ordering requirement.
+	allocMu sync.Mutex
+	// outstanding holds commit timestamps that were pre-allocated but
+	// whose transactions are not yet fully published to every covering
+	// partition. Begin blocks while any outstanding timestamp sits below
+	// the new snapshot: once a snapshot is handed out, every commit below
+	// it is queryable, so a reader can never first skip a transaction as
+	// pending and later see it committed inside the same snapshot (the
+	// Omid-style begin barrier).
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outstanding map[uint64]struct{}
+
+	begins     atomic.Int64
+	singleTxns atomic.Int64
+	crossTxns  atomic.Int64
+	crossCommits,
+	crossAborts atomic.Int64
+
+	subMu sync.Mutex
+	subs  []*oracle.Subscription
+
+	// decideWG tracks in-flight background decide rounds (AsyncDecide);
+	// decideErr latches their first failure.
+	decideWG  sync.WaitGroup
+	decideMu  sync.Mutex
+	decideErr error
+}
+
+// Errors returned by the coordinator.
+var (
+	ErrNoBackends = errors.New("partition: coordinator needs at least one backend")
+	ErrNoClock    = errors.New("partition: coordinator needs a shared clock")
+)
+
+// NewCoordinator wires a coordinator over the configured partitions.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	if cfg.Clock == nil {
+		return nil, ErrNoClock
+	}
+	if cfg.Router == nil {
+		cfg.Router = NewHashRouter(len(cfg.Backends))
+	}
+	if cfg.Router.Partitions() != len(cfg.Backends) {
+		return nil, fmt.Errorf("partition: router covers %d partitions, have %d backends",
+			cfg.Router.Partitions(), len(cfg.Backends))
+	}
+	if cfg.SharedTSO {
+		// SharedTSO skips the begin barrier on the strength of verdicts
+		// being published inside the clock's critical section; a clock
+		// that cannot be hooked would silently fall back to pre-allocated
+		// timestamps with no barrier — a snapshot-visibility hole.
+		if _, ok := cfg.Clock.(HookedClock); !ok {
+			return nil, fmt.Errorf("partition: SharedTSO requires a HookedClock (got %T)", cfg.Clock)
+		}
+	}
+	if cfg.DecisionLog == nil {
+		cfg.DecisionLog = NewDecisionLog(nil)
+	}
+	co := &Coordinator{
+		cfg:         cfg,
+		router:      cfg.Router,
+		parts:       cfg.Backends,
+		clock:       cfg.Clock,
+		dlog:        cfg.DecisionLog,
+		outstanding: make(map[uint64]struct{}),
+	}
+	co.outCond = sync.NewCond(&co.outMu)
+	return co, nil
+}
+
+// Router returns the coordinator's row router.
+func (co *Coordinator) Router() Router { return co.router }
+
+// DecisionLog returns the coordinator's decision log (for recovery
+// tooling).
+func (co *Coordinator) DecisionLog() *DecisionLog { return co.dlog }
+
+// Begin allocates a start timestamp and holds it until every commit
+// timestamp allocated below it is fully published — see the begin-barrier
+// comment on Coordinator.outstanding.
+func (co *Coordinator) Begin() (uint64, error) {
+	if co.cfg.SharedTSO {
+		// Shared-TSO verdicts are published inside the timestamp oracle's
+		// critical section, so a fresh snapshot can already resolve every
+		// commit below it — no barrier, no alloc serialization.
+		ts, err := co.clock.Next()
+		if err != nil {
+			return 0, err
+		}
+		co.begins.Add(1)
+		return ts, nil
+	}
+	co.allocMu.Lock()
+	ts, err := co.clock.Next()
+	co.allocMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	co.waitPublished(ts)
+	co.begins.Add(1)
+	return ts, nil
+}
+
+// allocCommitTSs draws a block of n commit timestamps and marks them
+// outstanding before any later start timestamp can be issued.
+func (co *Coordinator) allocCommitTSs(n int) (uint64, error) {
+	co.allocMu.Lock()
+	defer co.allocMu.Unlock()
+	lo, err := co.clock.NextBlock(n)
+	if err != nil {
+		return 0, err
+	}
+	co.outMu.Lock()
+	for i := 0; i < n; i++ {
+		co.outstanding[lo+uint64(i)] = struct{}{}
+	}
+	co.outMu.Unlock()
+	return lo, nil
+}
+
+// releaseCommitTSs clears a block from the outstanding set once its
+// transactions are published (or their round has failed — an unpublished
+// failure is settled through the decision log and in-doubt resolution, not
+// by stalling every future snapshot).
+func (co *Coordinator) releaseCommitTSs(lo uint64, n int) {
+	co.outMu.Lock()
+	for i := 0; i < n; i++ {
+		delete(co.outstanding, lo+uint64(i))
+	}
+	co.outCond.Broadcast()
+	co.outMu.Unlock()
+}
+
+// waitPublished blocks until no outstanding commit timestamp sits below
+// ts.
+func (co *Coordinator) waitPublished(ts uint64) {
+	co.outMu.Lock()
+	for {
+		pending := false
+		for ct := range co.outstanding {
+			if ct < ts {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			co.outMu.Unlock()
+			return
+		}
+		co.outCond.Wait()
+	}
+}
+
+// Cover returns the sorted partition set covering a commit request's
+// write rows and conflict-check rows (read set under WSI). The
+// virtual-time cluster model uses it so its cost model routes exactly as
+// the real protocol does.
+func (co *Coordinator) Cover(req *oracle.CommitRequest) []int {
+	n := co.router.Partitions()
+	if n == 1 {
+		return []int{0}
+	}
+	var mask uint64 // partitions fit in a word for any sane N; fall back below
+	var list []int
+	add := func(p int) {
+		if n <= 64 {
+			mask |= 1 << uint(p)
+			return
+		}
+		for _, q := range list {
+			if q == p {
+				return
+			}
+		}
+		list = append(list, p)
+	}
+	for _, r := range req.WriteSet {
+		add(co.router.Partition(r))
+	}
+	if co.cfg.Engine == oracle.WSI {
+		for _, r := range req.ReadSet {
+			add(co.router.Partition(r))
+		}
+	}
+	if n <= 64 {
+		out := make([]int, 0, 2)
+		for p := 0; p < n; p++ {
+			if mask&(1<<uint(p)) != 0 {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	// Rare large-N path: list is unsorted; selection sort is fine at this
+	// size.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j] < list[j-1]; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+	return list
+}
+
+// sliceRows filters a row set down to the rows partition p owns.
+func (co *Coordinator) sliceRows(rows []oracle.RowID, p int) []oracle.RowID {
+	var out []oracle.RowID
+	for _, r := range rows {
+		if co.router.Partition(r) == p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Commit decides one commit request; it is a CommitBatch of one.
+func (co *Coordinator) Commit(req oracle.CommitRequest) (oracle.CommitResult, error) {
+	res, err := co.CommitBatch([]oracle.CommitRequest{req})
+	if err != nil {
+		return oracle.CommitResult{}, err
+	}
+	return res[0], nil
+}
+
+// CommitBatch decides a batch of commit requests across the partitions:
+// read-only requests commit immediately, requests whose rows live on one
+// partition are grouped and sent down that partition's one-shot fast path,
+// and requests spanning several partitions run the two-phase
+// prepare/decide protocol — all concurrently. An error reports an
+// infrastructure failure; per-transaction conflicts are reported in the
+// results.
+func (co *Coordinator) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult, error) {
+	results := make([]oracle.CommitResult, len(reqs))
+	singles := make(map[int][]int)
+	var multi []int
+	covers := make([][]int, len(reqs))
+	for i := range reqs {
+		if reqs[i].ReadOnly() {
+			// §5.1 read-only fast path, unchanged by partitioning.
+			results[i] = oracle.CommitResult{Committed: true, CommitTS: reqs[i].StartTS}
+			continue
+		}
+		cover := co.Cover(&reqs[i])
+		covers[i] = cover
+		if len(cover) == 1 {
+			singles[cover[0]] = append(singles[cover[0]], i)
+		} else {
+			multi = append(multi, i)
+		}
+	}
+	co.singleTxns.Add(int64(len(reqs) - len(multi) - countReadOnly(reqs)))
+	co.crossTxns.Add(int64(len(multi)))
+
+	errCh := make(chan error, len(singles)+1)
+	var wg sync.WaitGroup
+	for p, idxs := range singles {
+		wg.Add(1)
+		go func(p int, idxs []int) {
+			defer wg.Done()
+			if err := co.commitSingles(p, reqs, idxs, results); err != nil {
+				errCh <- err
+			}
+		}(p, idxs)
+	}
+	if len(multi) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := co.commitCross(reqs, multi, covers, results); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return results, nil
+}
+
+func countReadOnly(reqs []oracle.CommitRequest) int {
+	n := 0
+	for i := range reqs {
+		if reqs[i].ReadOnly() {
+			n++
+		}
+	}
+	return n
+}
+
+// commitSingles routes one partition's group of single-partition requests
+// down its fast path.
+func (co *Coordinator) commitSingles(p int, reqs []oracle.CommitRequest, idxs []int, results []oracle.CommitResult) error {
+	if co.cfg.SharedTSO {
+		// The partition shares the coordinator's timestamp oracle: its own
+		// CommitBatch allocates and publishes commit timestamps atomically,
+		// so no begin barrier is needed.
+		sub := make([]oracle.CommitRequest, len(idxs))
+		for k, i := range idxs {
+			sub[k] = reqs[i]
+		}
+		res, err := co.parts[p].CommitBatch(sub)
+		if err != nil {
+			return err
+		}
+		for k, i := range idxs {
+			results[i] = res[k]
+		}
+		return nil
+	}
+	lo, err := co.allocCommitTSs(len(idxs))
+	if err != nil {
+		return err
+	}
+	defer co.releaseCommitTSs(lo, len(idxs))
+	sub := make([]oracle.PrepareRequest, len(idxs))
+	for k, i := range idxs {
+		sub[k] = oracle.PrepareRequest{
+			StartTS:  reqs[i].StartTS,
+			CommitTS: lo + uint64(k),
+			WriteSet: reqs[i].WriteSet,
+		}
+		if co.cfg.Engine == oracle.WSI {
+			// Under WSI the cover includes every read row's partition, so
+			// the whole read set is owned here. Under SI the read set
+			// plays no part in the conflict check and may span foreign
+			// partitions — shipping it would trip the server's ownership
+			// guard.
+			sub[k].ReadSet = reqs[i].ReadSet
+		}
+	}
+	res, err := co.parts[p].CommitAtBatch(sub)
+	if err != nil {
+		return err
+	}
+	for k, i := range idxs {
+		results[i] = res[k]
+	}
+	return nil
+}
+
+// crossRound is the shared state of one two-phase fan-out.
+type crossRound struct {
+	prepReqs map[int][]oracle.PrepareRequest
+	slots    map[int][]int // partition -> index into multi, per prepare slice
+}
+
+// buildSlices cuts each cross-partition request into per-partition prepare
+// slices. ctOf supplies the pre-allocated commit timestamp (0 in shared
+// mode, where the timestamp is assigned at decide time).
+func (co *Coordinator) buildSlices(reqs []oracle.CommitRequest, multi []int, covers [][]int, ctOf func(k int) uint64) crossRound {
+	r := crossRound{
+		prepReqs: make(map[int][]oracle.PrepareRequest),
+		slots:    make(map[int][]int),
+	}
+	for k, i := range multi {
+		for _, p := range covers[i] {
+			pr := oracle.PrepareRequest{
+				StartTS:  reqs[i].StartTS,
+				CommitTS: ctOf(k),
+				WriteSet: co.sliceRows(reqs[i].WriteSet, p),
+			}
+			if co.cfg.Engine == oracle.WSI {
+				pr.ReadSet = co.sliceRows(reqs[i].ReadSet, p)
+			}
+			r.prepReqs[p] = append(r.prepReqs[p], pr)
+			r.slots[p] = append(r.slots[p], k)
+		}
+	}
+	return r
+}
+
+// prepareRound runs phase one in parallel and ANDs the votes. A partition
+// that fails to answer vetoes every transaction it covers — aborting more
+// than a serial oracle would is always safe, and the client is never
+// acknowledged for a commit that was not unanimously prepared.
+func (co *Coordinator) prepareRound(r crossRound, n int) []bool {
+	votes := make([]bool, n)
+	for i := range votes {
+		votes[i] = true
+	}
+	var vmu sync.Mutex
+	var wg sync.WaitGroup
+	for p, prs := range r.prepReqs {
+		wg.Add(1)
+		go func(p int, prs []oracle.PrepareRequest) {
+			defer wg.Done()
+			vs, err := co.parts[p].PrepareBatch(prs)
+			vmu.Lock()
+			defer vmu.Unlock()
+			if err != nil {
+				for _, k := range r.slots[p] {
+					votes[k] = false
+				}
+				return
+			}
+			for j, k := range r.slots[p] {
+				if !vs[j] {
+					votes[k] = false
+				}
+			}
+		}(p, prs)
+	}
+	wg.Wait()
+	return votes
+}
+
+// decideRound fans the verdicts to every covering partition in parallel.
+func (co *Coordinator) decideRound(r crossRound, decisions []oracle.Decision) error {
+	var dmu sync.Mutex
+	var decideErr error
+	var wg sync.WaitGroup
+	for p := range r.prepReqs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ds := make([]oracle.Decision, 0, len(r.slots[p]))
+			for _, k := range r.slots[p] {
+				ds = append(ds, decisions[k])
+			}
+			if err := co.parts[p].DecideBatch(ds); err != nil {
+				dmu.Lock()
+				decideErr = err
+				dmu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	return decideErr
+}
+
+// finishCross writes the round's results and counters.
+func (co *Coordinator) finishCross(multi []int, decisions []oracle.Decision, results []oracle.CommitResult) {
+	var commits, aborts int64
+	for k, i := range multi {
+		results[i] = oracle.CommitResult{Committed: decisions[k].Commit}
+		if decisions[k].Commit {
+			results[i].CommitTS = decisions[k].CommitTS
+			commits++
+		} else {
+			aborts++
+		}
+	}
+	co.crossCommits.Add(commits)
+	co.crossAborts.Add(aborts)
+}
+
+// commitCross runs one two-phase round for the batch's cross-partition
+// requests.
+//
+// In shared-TSO mode the commit timestamps are allocated *after* the votes,
+// inside the timestamp oracle's critical section, with the verdicts
+// published to the decision log in the same section — so any snapshot
+// issued above a commit's timestamp can already resolve the commit from
+// the log, no begin barrier required. This mirrors how the single oracle
+// publishes its commit-table entries atomically with the allocation.
+//
+// In remote mode the timestamps are pre-allocated (the issue of a remote
+// clock cannot be hooked), so the begin barrier holds new snapshots until
+// the verdicts are durably recorded; it releases as soon as the decision
+// log — which the coordinator's merged queries consult — has them, not
+// when the slower decide fan-out completes.
+func (co *Coordinator) commitCross(reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
+	if co.cfg.SharedTSO {
+		// NewCoordinator guarantees the clock is hookable in this mode.
+		return co.commitCrossShared(co.clock.(HookedClock), reqs, multi, covers, results)
+	}
+	return co.commitCrossBarrier(reqs, multi, covers, results)
+}
+
+// commitCrossShared is the barrier-free in-process path.
+func (co *Coordinator) commitCrossShared(hc HookedClock, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
+	round := co.buildSlices(reqs, multi, covers, func(int) uint64 { return 0 })
+	votes := co.prepareRound(round, len(multi))
+
+	decisions := make([]oracle.Decision, len(multi))
+	for k, i := range multi {
+		decisions[k] = oracle.Decision{StartTS: reqs[i].StartTS, Commit: votes[k]}
+	}
+	_, err := hc.NextBlockWith(len(multi), func(lo, _ uint64) {
+		for k := range decisions {
+			decisions[k].CommitTS = lo + uint64(k)
+		}
+		// Inside the critical section: every later snapshot resolves
+		// these verdicts from the log.
+		co.dlog.publishMem(decisions)
+	})
+	if err != nil {
+		// No timestamps, nothing published: abort everything to release
+		// the prepared rows, then surface the infrastructure failure.
+		for k := range decisions {
+			decisions[k].Commit = false
+		}
+		_ = co.decideRound(round, decisions)
+		co.finishCross(multi, decisions, results)
+		return err
+	}
+	// The verdicts are already published; a durability failure here makes
+	// the commits in-doubt for the client (surfaced as an error), but they
+	// stand — readers may have observed them.
+	walErr := co.dlog.appendWAL(decisions)
+	decideErr := co.runDecides(round, decisions)
+	co.finishCross(multi, decisions, results)
+	if walErr != nil {
+		return walErr
+	}
+	return decideErr
+}
+
+// runDecides fans the verdicts out — inline, or in the background under
+// AsyncDecide (the verdicts are already durable and queryable, so the ack
+// need not wait; a failure latches and surfaces on the next commit).
+func (co *Coordinator) runDecides(round crossRound, decisions []oracle.Decision) error {
+	if !co.cfg.AsyncDecide {
+		return co.decideRound(round, decisions)
+	}
+	co.decideWG.Add(1)
+	go func() {
+		defer co.decideWG.Done()
+		if err := co.decideRound(round, decisions); err != nil {
+			co.decideMu.Lock()
+			if co.decideErr == nil {
+				co.decideErr = err
+			}
+			co.decideMu.Unlock()
+		}
+	}()
+	co.decideMu.Lock()
+	err := co.decideErr
+	co.decideMu.Unlock()
+	return err
+}
+
+// DrainDecides waits for every background decide round to land on its
+// partitions and returns the first latched fan-out failure, if any.
+func (co *Coordinator) DrainDecides() error {
+	co.decideWG.Wait()
+	co.decideMu.Lock()
+	defer co.decideMu.Unlock()
+	return co.decideErr
+}
+
+// commitCrossBarrier is the pre-allocated-timestamp path for remote
+// partitions.
+func (co *Coordinator) commitCrossBarrier(reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
+	lo, err := co.allocCommitTSs(len(multi))
+	if err != nil {
+		return err
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			co.releaseCommitTSs(lo, len(multi))
+		}
+	}
+	defer release()
+
+	round := co.buildSlices(reqs, multi, covers, func(k int) uint64 { return lo + uint64(k) })
+	votes := co.prepareRound(round, len(multi))
+
+	decisions := make([]oracle.Decision, len(multi))
+	for k, i := range multi {
+		decisions[k] = oracle.Decision{StartTS: reqs[i].StartTS, CommitTS: lo + uint64(k), Commit: votes[k]}
+	}
+	// Verdicts must be durable before any decide fans out. If the decision
+	// log cannot be persisted, no commit may be promised: flip everything
+	// to abort (safe — nothing was acknowledged) and still fan the aborts
+	// out to release the prepared rows.
+	dlogErr := co.dlog.RecordAll(decisions)
+	if dlogErr != nil {
+		for k := range decisions {
+			decisions[k].Commit = false
+		}
+	}
+	// The log now answers queries for these transactions; new snapshots
+	// need not wait for the decide fan-out.
+	release()
+	decideErr := co.runDecides(round, decisions)
+	co.finishCross(multi, decisions, results)
+	if dlogErr != nil {
+		return dlogErr
+	}
+	if decideErr != nil {
+		// Some partition did not apply its decides; the transactions are
+		// settled (decision log) but not fully published there, so the
+		// client must treat its commits as in-doubt rather than
+		// acknowledged.
+		return decideErr
+	}
+	return nil
+}
+
+// Query reports a transaction's status; it is a QueryBatch of one.
+func (co *Coordinator) Query(startTS uint64) oracle.TxnStatus {
+	return co.QueryBatch([]uint64{startTS})[0]
+}
+
+// QueryBatch resolves transaction statuses by fanning each batch out to
+// every partition and merging the answers: committed wins (any partition
+// that published the commit is proof of the unanimous verdict), then
+// aborted, then unknown (evicted), then pending. Because readers resolve a
+// transaction's fate once per start timestamp and the first published
+// partition already answers committed, a snapshot can never observe a
+// half-decided transaction — one key committed, another still pending.
+func (co *Coordinator) QueryBatch(startTSs []uint64) []oracle.TxnStatus {
+	out := make([]oracle.TxnStatus, len(startTSs))
+	if len(startTSs) == 0 {
+		return out
+	}
+	if len(co.parts) == 1 {
+		return co.parts[0].QueryBatch(startTSs)
+	}
+	answers := make([][]oracle.TxnStatus, len(co.parts))
+	var wg sync.WaitGroup
+	for p := range co.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			answers[p] = co.parts[p].QueryBatch(startTSs)
+		}(p)
+	}
+	wg.Wait()
+	for i := range out {
+		out[i] = mergeStatuses(answers, i)
+		if out[i].Status == oracle.StatusPending || out[i].Status == oracle.StatusUnknown {
+			// The decision log bridges the decide fan-out window: a
+			// verdict is published there before (shared mode: atomically
+			// with) its commit timestamp becomes visible to any snapshot.
+			if d, ok := co.dlog.Lookup(startTSs[i]); ok {
+				if d.Commit {
+					out[i] = oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: d.CommitTS}
+				} else {
+					out[i] = oracle.TxnStatus{Status: oracle.StatusAborted}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mergeStatuses folds the per-partition answers for one start timestamp.
+func mergeStatuses(answers [][]oracle.TxnStatus, i int) oracle.TxnStatus {
+	merged := oracle.TxnStatus{Status: oracle.StatusPending}
+	for p := range answers {
+		if len(answers[p]) <= i {
+			continue
+		}
+		st := answers[p][i]
+		switch st.Status {
+		case oracle.StatusCommitted:
+			return st
+		case oracle.StatusAborted:
+			merged = st
+		case oracle.StatusUnknown:
+			if merged.Status == oracle.StatusPending {
+				merged = st
+			}
+		}
+	}
+	return merged
+}
+
+// ResolveStatus is the error-aware status lookup in-doubt clients use: it
+// answers from the decision log first (the authoritative verdict record),
+// then from the partitions; a transport failure is reported only when no
+// authoritative answer could be obtained.
+func (co *Coordinator) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
+	if d, ok := co.dlog.Lookup(startTS); ok {
+		if d.Commit {
+			return oracle.TxnStatus{Status: oracle.StatusCommitted, CommitTS: d.CommitTS}, nil
+		}
+		return oracle.TxnStatus{Status: oracle.StatusAborted}, nil
+	}
+	merged := oracle.TxnStatus{Status: oracle.StatusPending}
+	var firstErr error
+	for _, b := range co.parts {
+		var st oracle.TxnStatus
+		var err error
+		if r, ok := b.(StatusResolving); ok {
+			st, err = r.ResolveStatus(startTS)
+		} else {
+			st = b.QueryBatch([]uint64{startTS})[0]
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		switch st.Status {
+		case oracle.StatusCommitted:
+			return st, nil
+		case oracle.StatusAborted:
+			merged = st
+		case oracle.StatusUnknown:
+			if merged.Status == oracle.StatusPending {
+				merged = st
+			}
+		}
+	}
+	if firstErr != nil && merged.Status == oracle.StatusPending {
+		// A silent partition might have held the only copy of the answer.
+		return oracle.TxnStatus{}, firstErr
+	}
+	return merged, nil
+}
+
+// Abort records an explicit client abort on every partition, so whichever
+// partitions own the transaction's rows answer aborted.
+func (co *Coordinator) Abort(startTS uint64) error {
+	var firstErr error
+	for _, b := range co.parts {
+		if err := b.Abort(startTS); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Forget drops an aborted transaction's record on every partition.
+func (co *Coordinator) Forget(startTS uint64) {
+	for _, b := range co.parts {
+		b.Forget(startTS)
+	}
+}
+
+// Subscribe merges every partition's commit notification stream into one
+// subscription, so ModeReplica clients maintain their commit-table replica
+// exactly as against a single oracle. Cross-partition transactions are
+// announced once per covering partition; the duplicate events carry
+// identical payloads and are harmless to the replica cache.
+func (co *Coordinator) Subscribe(buffer int) *oracle.Subscription {
+	bc := oracle.NewLocalBroadcaster()
+	merged := bc.Subscribe(buffer)
+	var upstream []*oracle.Subscription
+	for _, b := range co.parts {
+		s, ok := b.(Subscribing)
+		if !ok {
+			continue
+		}
+		upstream = append(upstream, s.Subscribe(buffer))
+	}
+	if len(upstream) == 0 {
+		bc.Close()
+		return merged
+	}
+	var wg sync.WaitGroup
+	for _, sub := range upstream {
+		wg.Add(1)
+		go func(sub *oracle.Subscription) {
+			defer wg.Done()
+			for e := range sub.C {
+				bc.Publish(e)
+			}
+		}(sub)
+	}
+	go func() {
+		wg.Wait()
+		bc.Close()
+	}()
+	co.subMu.Lock()
+	co.subs = append(co.subs, upstream...)
+	co.subMu.Unlock()
+	return merged
+}
+
+// Close tears down the coordinator's upstream subscriptions.
+func (co *Coordinator) Close() {
+	co.subMu.Lock()
+	subs := co.subs
+	co.subs = nil
+	co.subMu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// Stats snapshots the coordinator counters plus every partition's oracle
+// counters.
+func (co *Coordinator) Stats() Stats {
+	st := Stats{
+		Begins:       co.begins.Load(),
+		SingleTxns:   co.singleTxns.Load(),
+		CrossTxns:    co.crossTxns.Load(),
+		CrossCommits: co.crossCommits.Load(),
+		CrossAborts:  co.crossAborts.Load(),
+		Partitions:   make([]oracle.Stats, len(co.parts)),
+	}
+	for p, b := range co.parts {
+		if ps, err := b.Stats(); err == nil {
+			st.Partitions[p] = ps
+		}
+	}
+	return st
+}

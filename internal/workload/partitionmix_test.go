@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slicesOf counts the distinct slices a row set touches.
+func slicesOf(rows []int64, partitions int, total int64) map[int]struct{} {
+	per := total / int64(partitions)
+	out := make(map[int]struct{})
+	for _, r := range rows {
+		p := int(r / per)
+		if p >= partitions {
+			p = partitions - 1
+		}
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+func TestCrossMixFraction(t *testing.T) {
+	const (
+		partitions = 4
+		rows       = 4000
+		samples    = 4000
+	)
+	for _, cross := range []float64{0, 0.1, 0.5, 1} {
+		m := NewCrossMix(ComplexWorkload(), partitions, cross, rows)
+		rng := rand.New(rand.NewSource(42))
+		var writeTxns, crossTxns int
+		for i := 0; i < samples; i++ {
+			tx := m.Next(rng)
+			w := tx.WriteRows()
+			if len(w) == 0 {
+				continue
+			}
+			writeTxns++
+			for _, r := range w {
+				if r < 0 || r >= rows {
+					t.Fatalf("row %d outside [0,%d)", r, rows)
+				}
+			}
+			if len(slicesOf(w, partitions, rows)) >= 2 {
+				crossTxns++
+			}
+		}
+		got := float64(crossTxns) / float64(writeTxns)
+		// The forced pair makes "cross" a lower bound; home-slice draws
+		// never leave the slice, so the measured fraction should track the
+		// knob closely.
+		if cross == 0 && got != 0 {
+			t.Fatalf("cross=0 produced %d cross txns", crossTxns)
+		}
+		if cross > 0 && (got < cross*0.8 || got > cross*1.2+0.02) {
+			t.Fatalf("cross=%.2f measured %.3f (%d/%d)", cross, got, crossTxns, writeTxns)
+		}
+	}
+}
+
+func TestCrossMixReadOnly(t *testing.T) {
+	m := NewCrossMix(MixedWorkload(), 4, 1, 4000)
+	rng := rand.New(rand.NewSource(7))
+	readOnly := 0
+	for i := 0; i < 2000; i++ {
+		tx := m.Next(rng)
+		if tx.Kind == TxnReadOnly {
+			readOnly++
+			if len(tx.WriteRows()) != 0 {
+				t.Fatalf("read-only transaction has writes")
+			}
+		}
+	}
+	if readOnly < 800 || readOnly > 1200 {
+		t.Fatalf("read-only fraction off: %d/2000", readOnly)
+	}
+}
