@@ -47,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,7 +69,9 @@ func main() {
 		walPath = flag.String("wal", "", "path to a file-backed WAL ledger (empty: no durability)")
 		maxRows = flag.Int("max-rows", 0, "bound on retained lastCommit rows (Algorithm 3 NR; 0 = unbounded)")
 		shards  = flag.Int("shards", 1, "critical-section shards (1 = paper's implementation)")
+		table   = flag.String("table", "open", "lastCommit storage: open (open-addressed, zero-allocation) or map (reference)")
 		fsync   = flag.Bool("fsync", true, "fsync each WAL batch (with -wal)")
+		pprof   = flag.String("pprof", "", "listen address for net/http/pprof (empty: disabled), e.g. 127.0.0.1:6060")
 
 		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
 		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
@@ -93,7 +97,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oracle-server: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
-	cfg := oracle.Config{Engine: eng, MaxRows: *maxRows, Shards: *shards}
+	kind, err := oracle.ParseTableKind(*table)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oracle-server: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := oracle.Config{Engine: eng, Table: kind, MaxRows: *maxRows, Shards: *shards}
+
+	if *pprof != "" {
+		// Live profiling of the serving process (allocation regressions on
+		// the hot path show up in /debug/pprof/allocs).
+		go func() {
+			log.Printf("oracle-server: pprof listening on http://%s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("oracle-server: pprof: %v", err)
+			}
+		}()
+	}
 
 	// Partitioned deployment: this server owns one key slice of a
 	// -partitions-wide status oracle. The router must match the one the
@@ -158,7 +178,9 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 		log.Printf("oracle-server: recovered from %s: %d records replayed after checkpoint (bound %d) in %v",
 			walPath, st.ReplayedRecords, st.LastCheckpointTS, time.Duration(st.RecoveryNanos))
 	} else {
-		so, err = oracle.New(oracle.Config{Engine: cfg.Engine, MaxRows: cfg.MaxRows, Shards: cfg.Shards, TSO: tso.New(0, nil)})
+		memCfg := cfg
+		memCfg.TSO = tso.New(0, nil)
+		so, err = oracle.New(memCfg)
 		if err != nil {
 			log.Fatalf("oracle-server: %v", err)
 		}

@@ -263,6 +263,8 @@ func init() {
 			}
 			fmt.Fprintf(&b, "\noracle read counters: Queries=%d QueryBatches=%d QueryBatchSizeAvg=%.1f\n",
 				st.Queries, st.QueryBatches, st.QueryBatchSizeAvg)
+			fmt.Fprintf(&b, "allocation discipline: TableLoadFactor=%.2f Rehashes=%d PooledFrameHits=%d PooledFrameMisses=%d\n",
+				st.TableLoadFactor, st.Rehashes, st.PooledFrameHits, st.PooledFrameMisses)
 			b.WriteString("\nbatching amortizes frames, syscalls and commit-table lock passes across\n")
 			b.WriteString("lookups; speedup is relative to the unbatched (batch=1) per-key opQuery row.\n")
 			return b.String(), nil

@@ -1,0 +1,111 @@
+package netsrv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/tso"
+)
+
+// benchServer starts a server over an in-memory oracle and returns a
+// connected client. Closers are registered on b.
+func benchServer(b *testing.B) (*Client, *oracle.StatusOracle) {
+	b.Helper()
+	so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: tso.New(0, nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(so)
+	srv.Logf = nil
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c, so
+}
+
+// BenchmarkCommitRoundTrip measures one opCommitBatch wire round trip per
+// benchmark op (batch of `size` transactions, ~10 written + 10 read rows
+// each). -benchmem exposes the end-to-end allocation cost of the commit
+// path: client encode, server decode, oracle decision, response encode and
+// client decode. Per-transaction cost is ns/op ÷ size.
+func BenchmarkCommitRoundTrip(b *testing.B) {
+	for _, size := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			c, _ := benchServer(b)
+			rng := rand.New(rand.NewSource(1))
+			reqs := make([]oracle.CommitRequest, size)
+			for i := range reqs {
+				reqs[i].WriteSet = make([]oracle.RowID, 10)
+				reqs[i].ReadSet = make([]oracle.RowID, 10)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := range reqs {
+					ts, err := c.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs[i].StartTS = ts
+					for j := 0; j < 10; j++ {
+						reqs[i].WriteSet[j] = oracle.RowID(rng.Int63n(20_000_000))
+						reqs[i].ReadSet[j] = oracle.RowID(rng.Int63n(20_000_000))
+					}
+				}
+				if size == 1 {
+					if _, err := c.Commit(reqs[0]); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := c.CommitBatch(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryRoundTrip measures one opQueryBatch wire round trip per
+// benchmark op (batch of `size` status lookups against a seeded commit
+// table).
+func BenchmarkQueryRoundTrip(b *testing.B) {
+	for _, size := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			c, so := benchServer(b)
+			const seeded = 1024
+			starts := make([]uint64, seeded)
+			seedReqs := make([]oracle.CommitRequest, seeded)
+			for i := range seedReqs {
+				ts, err := so.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				starts[i] = ts
+				seedReqs[i] = oracle.CommitRequest{StartTS: ts, WriteSet: []oracle.RowID{oracle.RowID(i)}}
+			}
+			if _, err := so.CommitBatch(seedReqs); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			tss := make([]uint64, size)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := range tss {
+					tss[i] = starts[rng.Intn(seeded)]
+				}
+				if size == 1 {
+					c.Query(tss[0])
+				} else {
+					c.QueryBatch(tss)
+				}
+			}
+		})
+	}
+}

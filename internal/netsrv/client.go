@@ -40,6 +40,7 @@ type Client struct {
 	pending map[uint64]chan response
 	err     error // connection failure; reconnectable unless closed
 	closed  bool
+	wbuf    []byte // frame write buffer, reused under mu
 
 	subs   []*subConn
 	subsMu sync.Mutex
@@ -48,7 +49,37 @@ type Client struct {
 type response struct {
 	code    byte
 	payload []byte
+	buf     *[]byte // pooled backing buffer; released via putRespBuf
 	err     error
+}
+
+// Package pools of the client hot path. Request payloads are encoded into
+// pooled buffers (released when call returns — the frame write copies them
+// into the client's write buffer first), response bodies are read into
+// pooled buffers (released by each method once the payload is decoded),
+// and the one-shot response channels ping-pong through their own pool.
+var (
+	payloadPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 512); return &b }}
+	respBufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 512); return &b }}
+	respChPool  = sync.Pool{New: func() interface{} { return make(chan response, 1) }}
+)
+
+func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
+
+func putPayloadBuf(b *[]byte) {
+	if cap(*b) <= maxRetainedWriteBuf {
+		payloadPool.Put(b)
+	}
+}
+
+// putRespBuf releases a response's pooled body after its payload has been
+// decoded. Safe on responses without one (error responses). Oversized
+// one-off buffers go to the GC instead of pinning their capacity in the
+// pool.
+func putRespBuf(r response) {
+	if r.buf != nil && cap(*r.buf) <= maxRetainedWriteBuf {
+		respBufPool.Put(r.buf)
+	}
 }
 
 // Dial connects to a status oracle server. The returned client does not
@@ -180,13 +211,19 @@ func (c *Client) readLoop(conn net.Conn) {
 		c.mu.Unlock()
 	}
 	for {
-		body, err := readFrame(conn)
+		// Each response body lands in a pooled buffer whose ownership
+		// travels with the response; the caller releases it after decoding.
+		buf := respBufPool.Get().(*[]byte)
+		body, err := readFrameInto(conn, (*buf)[:cap(*buf)])
 		if err != nil {
+			respBufPool.Put(buf)
 			failConn(fmt.Errorf("netsrv: connection lost: %w", err))
 			return
 		}
+		*buf = body[:len(body):cap(body)]
 		reqID, code, payload, err := splitResponse(body)
 		if err != nil {
+			respBufPool.Put(buf)
 			failConn(err)
 			return
 		}
@@ -195,81 +232,119 @@ func (c *Client) readLoop(conn net.Conn) {
 		delete(c.pending, reqID)
 		c.mu.Unlock()
 		if ok {
-			ch <- response{code: code, payload: payload}
+			ch <- response{code: code, payload: payload, buf: buf}
+		} else {
+			respBufPool.Put(buf)
 		}
 	}
 }
 
-// call issues one request and waits for its response. On a lost
+// callResp issues one request and waits for its response. On a lost
 // connection, a failover client re-dials its address set first; the call
 // then proceeds on the new connection (it was never sent on the old one,
 // so no request is ever submitted twice).
-func (c *Client) call(op byte, payload []byte) ([]byte, error) {
-	ch := make(chan response, 1)
+//
+// The returned response's payload aliases a pooled buffer: the caller must
+// decode it and then release it with putRespBuf. The request frame is
+// built in the client's reusable write buffer and leaves in one Write
+// syscall, so the payload argument is free for reuse on return.
+func (c *Client) callResp(op byte, payload []byte) (response, error) {
+	ch := respChPool.Get().(chan response)
 	c.mu.Lock()
 	if c.err != nil {
 		if c.closed || len(c.addrs) == 0 {
 			err := c.err
 			c.mu.Unlock()
-			return nil, err
+			respChPool.Put(ch)
+			return response{}, err
 		}
 		c.mu.Unlock()
 		if err := c.reconnect(); err != nil {
-			return nil, err
+			respChPool.Put(ch)
+			return response{}, err
 		}
 		c.mu.Lock()
 		if c.err != nil {
 			// The fresh connection died before we could use it.
 			err := c.err
 			c.mu.Unlock()
-			return nil, err
+			respChPool.Put(ch)
+			return response{}, err
 		}
 	}
 	conn := c.conn
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
-	body := make([]byte, 9, 9+len(payload))
-	binary.BigEndian.PutUint64(body[:8], id)
-	body[8] = op
-	body = append(body, payload...)
-	err := writeFrame(conn, body)
+	// Frame: len(u32) reqID(u64) op(u8) payload — one buffer, one syscall.
+	b := append(c.wbuf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(b, uint32(9+len(payload)))
+	b = appendU64(b, id)
+	b = append(b, op)
+	b = append(b, payload...)
+	if cap(b) <= maxRetainedWriteBuf {
+		c.wbuf = b[:0] // keep the grown buffer; one giant frame is not pinned
+	}
+	_, err := conn.Write(b)
 	if err != nil {
 		delete(c.pending, id)
 		if c.conn == conn {
 			c.failLocked(fmt.Errorf("netsrv: write: %w", err))
 		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("netsrv: write: %w", err)
+		respChPool.Put(ch)
+		return response{}, fmt.Errorf("netsrv: write: %w", err)
 	}
 	c.mu.Unlock()
 
 	resp := <-ch
+	respChPool.Put(ch)
 	if resp.err != nil {
-		return nil, resp.err
+		return response{}, resp.err
 	}
 	if resp.code == codeErr {
-		return nil, remoteError(resp.payload)
+		err := remoteError(resp.payload)
+		putRespBuf(resp)
+		return response{}, err
 	}
-	return resp.payload, nil
+	return resp, nil
+}
+
+// call is callResp for cold paths: the payload is copied so no pooled
+// buffer escapes.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	resp, err := c.callResp(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), resp.payload...)
+	putRespBuf(resp)
+	return out, nil
 }
 
 // Begin requests a start timestamp.
 func (c *Client) Begin() (uint64, error) {
-	payload, err := c.call(opBegin, nil)
+	resp, err := c.callResp(opBegin, nil)
 	if err != nil {
 		return 0, err
 	}
-	return parseU64(payload)
+	ts, err := parseU64(resp.payload)
+	putRespBuf(resp)
+	return ts, err
 }
 
 // Commit submits a commit request.
 func (c *Client) Commit(req oracle.CommitRequest) (oracle.CommitResult, error) {
-	payload, err := c.call(opCommit, encodeCommitReq(req))
+	pb := getPayloadBuf()
+	*pb = appendCommitReq((*pb)[:0], req)
+	resp, err := c.callResp(opCommit, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return oracle.CommitResult{}, err
 	}
-	return parseCommitResult(payload)
+	res, err := parseCommitResult(resp.payload)
+	putRespBuf(resp)
+	return res, err
 }
 
 // CommitBatch submits a batch of commit requests as one frame; the server
@@ -278,11 +353,15 @@ func (c *Client) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(opCommitBatch, encodeCommitBatchReq(reqs))
+	pb := getPayloadBuf()
+	*pb = appendCommitBatchReq((*pb)[:0], reqs)
+	resp, err := c.callResp(opCommitBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return nil, err
 	}
-	results, err := decodeCommitBatchResp(payload)
+	results, err := decodeCommitBatchResp(resp.payload)
+	putRespBuf(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -294,19 +373,25 @@ func (c *Client) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult
 
 // Abort records an explicit abort.
 func (c *Client) Abort(startTS uint64) error {
-	_, err := c.call(opAbort, u64(startTS))
-	return err
+	resp, err := c.callResp(opAbort, u64(startTS))
+	if err != nil {
+		return err
+	}
+	putRespBuf(resp)
+	return nil
 }
 
 // BeginBlock allocates n consecutive timestamps in one round trip and
 // returns the lowest; the partitioned coordinator draws its
 // commit-timestamp blocks through it.
 func (c *Client) BeginBlock(n int) (uint64, error) {
-	payload, err := c.call(opBeginBlock, u64(uint64(n)))
+	resp, err := c.callResp(opBeginBlock, u64(uint64(n)))
 	if err != nil {
 		return 0, err
 	}
-	return parseU64(payload)
+	lo, err := parseU64(resp.payload)
+	putRespBuf(resp)
+	return lo, err
 }
 
 // PrepareBatch runs phase one of the two-phase partitioned commit on this
@@ -316,11 +401,15 @@ func (c *Client) PrepareBatch(reqs []oracle.PrepareRequest) ([]bool, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(opPrepareBatch, encodePrepareBatchReq(reqs))
+	pb := getPayloadBuf()
+	*pb = appendPrepareBatchReq((*pb)[:0], reqs)
+	resp, err := c.callResp(opPrepareBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return nil, err
 	}
-	votes, err := decodeVotesResp(payload)
+	votes, err := decodeVotesResp(resp.payload)
+	putRespBuf(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +425,15 @@ func (c *Client) DecideBatch(ds []oracle.Decision) error {
 	if len(ds) == 0 {
 		return nil
 	}
-	_, err := c.call(opDecideBatch, encodeDecideBatchReq(ds))
-	return err
+	pb := getPayloadBuf()
+	*pb = appendDecideBatchReq((*pb)[:0], ds)
+	resp, err := c.callResp(opDecideBatch, *pb)
+	putPayloadBuf(pb)
+	if err != nil {
+		return err
+	}
+	putRespBuf(resp)
+	return nil
 }
 
 // CommitAtBatch one-shot commits single-partition transactions at
@@ -346,11 +442,15 @@ func (c *Client) CommitAtBatch(reqs []oracle.PrepareRequest) ([]oracle.CommitRes
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(opCommitAtBatch, encodePrepareBatchReq(reqs))
+	pb := getPayloadBuf()
+	*pb = appendPrepareBatchReq((*pb)[:0], reqs)
+	resp, err := c.callResp(opCommitAtBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return nil, err
 	}
-	results, err := decodeCommitBatchResp(payload)
+	results, err := decodeCommitBatchResp(resp.payload)
+	putRespBuf(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -362,14 +462,15 @@ func (c *Client) CommitAtBatch(reqs []oracle.PrepareRequest) ([]oracle.CommitRes
 
 // Query asks for a transaction's status.
 func (c *Client) Query(startTS uint64) oracle.TxnStatus {
-	payload, err := c.call(opQuery, u64(startTS))
+	resp, err := c.callResp(opQuery, u64(startTS))
 	if err != nil {
 		// The Arbiter interface has no error path for Query;
 		// pending is the safe answer (the reader skips the version
 		// and may retry).
 		return oracle.TxnStatus{Status: oracle.StatusPending}
 	}
-	st, err := parseTxnStatus(payload)
+	st, err := parseTxnStatus(resp.payload)
+	putRespBuf(resp)
 	if err != nil {
 		return oracle.TxnStatus{Status: oracle.StatusPending}
 	}
@@ -386,11 +487,15 @@ func (c *Client) QueryBatch(startTSs []uint64) []oracle.TxnStatus {
 	if len(startTSs) == 0 {
 		return out
 	}
-	payload, err := c.call(opQueryBatch, encodeQueryBatchReq(startTSs))
+	pb := getPayloadBuf()
+	*pb = appendQueryBatchReq((*pb)[:0], startTSs)
+	resp, err := c.callResp(opQueryBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return out
 	}
-	statuses, err := decodeQueryBatchResp(payload)
+	statuses, err := decodeQueryBatchResp(resp.payload)
+	putRespBuf(resp)
 	if err != nil || len(statuses) != len(startTSs) {
 		return out
 	}
@@ -399,7 +504,10 @@ func (c *Client) QueryBatch(startTSs []uint64) []oracle.TxnStatus {
 
 // Forget drops an aborted transaction's record after cleanup.
 func (c *Client) Forget(startTS uint64) {
-	_, _ = c.call(opForget, u64(startTS))
+	resp, err := c.callResp(opForget, u64(startTS))
+	if err == nil {
+		putRespBuf(resp)
+	}
 }
 
 // Stats fetches the server-side oracle counters.
@@ -440,11 +548,16 @@ func (c *Client) Promote() error {
 // from a server. It rides the batched query op, so the answer reflects the
 // (possibly newly promoted) server's commit table.
 func (c *Client) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
-	payload, err := c.call(opQueryBatch, encodeQueryBatchReq([]uint64{startTS}))
+	ts := [1]uint64{startTS}
+	pb := getPayloadBuf()
+	*pb = appendQueryBatchReq((*pb)[:0], ts[:])
+	resp, err := c.callResp(opQueryBatch, *pb)
+	putPayloadBuf(pb)
 	if err != nil {
 		return oracle.TxnStatus{}, err
 	}
-	statuses, err := decodeQueryBatchResp(payload)
+	statuses, err := decodeQueryBatchResp(resp.payload)
+	putRespBuf(resp)
 	if err != nil {
 		return oracle.TxnStatus{}, err
 	}

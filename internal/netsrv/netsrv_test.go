@@ -432,7 +432,7 @@ func TestCommitBatchReqRoundTrip(t *testing.T) {
 		{StartTS: 11},
 		{StartTS: 13, ReadSet: []oracle.RowID{4, 5, 6}},
 	}
-	dec, err := decodeCommitBatchReq(encodeCommitBatchReq(reqs))
+	dec, err := decodeCommitBatchReq(appendCommitBatchReq(nil, reqs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -648,7 +648,7 @@ func TestQueryBatchCodecRoundTrip(t *testing.T) {
 		{Status: oracle.StatusPending},
 		{Status: oracle.StatusUnknown},
 	}
-	got, err := decodeQueryBatchResp(encodeQueryBatchResp(statuses))
+	got, err := decodeQueryBatchResp(appendQueryBatchResp(nil, statuses))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,7 +665,7 @@ func TestQueryBatchCodecRoundTrip(t *testing.T) {
 	if _, err := decodeQueryBatchReq(enc[:len(enc)-1]); err == nil {
 		t.Fatal("truncated query-batch request decoded without error")
 	}
-	resp := encodeQueryBatchResp(statuses)
+	resp := appendQueryBatchResp(nil, statuses)
 	if _, err := decodeQueryBatchResp(append(resp, 0)); err == nil {
 		t.Fatal("padded query-batch response decoded without error")
 	}

@@ -76,19 +76,28 @@ var (
 	ErrBadFrame      = errors.New("netsrv: malformed frame")
 )
 
-// writeFrame writes one length-prefixed frame.
-func writeFrame(w io.Writer, body []byte) error {
+// appendFrame appends one length-prefixed frame to dst (the zero-copy
+// sibling of writeFrame used by the pooled write paths).
+func appendFrame(dst, body []byte) []byte {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// writeFrame writes one length-prefixed frame as a single Write call: the
+// header and body are framed into one buffer first, so a frame never costs
+// two syscalls (nor lets the kernel emit a 4-byte TCP segment between
+// them). Hot paths frame into reusable buffers via appendFrame instead.
+func writeFrame(w io.Writer, body []byte) error {
+	_, err := w.Write(appendFrame(make([]byte, 0, 4+len(body)), body))
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrameInto reads one length-prefixed frame, reusing buf when its
+// capacity suffices. The returned slice aliases buf (or its replacement);
+// ownership stays with the caller.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -97,14 +106,22 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
 	return body, nil
 }
 
-// appendUvarintRows appends a row-id set as count + fixed 8-byte ids.
+// readFrame reads one length-prefixed frame into a fresh buffer.
+func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// appendRows appends a row-id set as count + fixed 8-byte ids.
 func appendRows(b []byte, rows []oracle.RowID) []byte {
 	var n [4]byte
 	binary.BigEndian.PutUint32(n[:], uint32(len(rows)))
@@ -117,7 +134,9 @@ func appendRows(b []byte, rows []oracle.RowID) []byte {
 	return b
 }
 
-func parseRows(b []byte) (rows []oracle.RowID, rest []byte, err error) {
+// parseRowsInto decodes a row set into dst's backing array (grown only when
+// capacity is insufficient, so steady-state decoding never allocates).
+func parseRowsInto(b []byte, dst []oracle.RowID) (rows []oracle.RowID, rest []byte, err error) {
 	if len(b) < 4 {
 		return nil, nil, ErrBadFrame
 	}
@@ -126,67 +145,104 @@ func parseRows(b []byte) (rows []oracle.RowID, rest []byte, err error) {
 	if uint64(len(b)) < uint64(n)*8 {
 		return nil, nil, ErrBadFrame
 	}
-	if n > 0 {
-		rows = make([]oracle.RowID, n)
-		for i := range rows {
-			rows[i] = oracle.RowID(binary.BigEndian.Uint64(b[i*8 : i*8+8]))
-		}
+	if uint64(cap(dst)) < uint64(n) {
+		dst = make([]oracle.RowID, n)
+	}
+	rows = dst[:n:cap(dst)]
+	for i := range rows {
+		rows[i] = oracle.RowID(binary.BigEndian.Uint64(b[i*8 : i*8+8]))
 	}
 	return rows, b[n*8:], nil
 }
 
-// encodeCommitReq renders a commit request payload.
-func encodeCommitReq(req oracle.CommitRequest) []byte {
-	b := make([]byte, 8, 8+8+len(req.WriteSet)*8+len(req.ReadSet)*8)
-	binary.BigEndian.PutUint64(b, req.StartTS)
+func parseRows(b []byte) (rows []oracle.RowID, rest []byte, err error) {
+	return parseRowsInto(b, nil)
+}
+
+// appendCommitReq renders a commit request payload.
+func appendCommitReq(b []byte, req oracle.CommitRequest) []byte {
+	b = appendU64(b, req.StartTS)
 	b = appendRows(b, req.WriteSet)
 	b = appendRows(b, req.ReadSet)
 	return b
 }
 
+func encodeCommitReq(req oracle.CommitRequest) []byte {
+	return appendCommitReq(make([]byte, 0, 8+8+len(req.WriteSet)*8+len(req.ReadSet)*8), req)
+}
+
 func decodeCommitReq(b []byte) (oracle.CommitRequest, error) {
-	req, rest, err := parseCommitReq(b)
-	if err != nil {
+	var req oracle.CommitRequest
+	if err := decodeCommitReqInto(&req, b); err != nil {
 		return oracle.CommitRequest{}, err
 	}
-	if len(rest) != 0 {
-		return oracle.CommitRequest{}, ErrBadFrame
-	}
 	return req, nil
+}
+
+// decodeCommitReqInto decodes a single-commit payload reusing req's row-set
+// arrays.
+func decodeCommitReqInto(req *oracle.CommitRequest, b []byte) error {
+	rest, err := parseCommitReqInto(req, b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrBadFrame
+	}
+	return nil
 }
 
 // parseCommitReq decodes one commit request from the front of b, returning
 // the remainder; commit-batch payloads are a plain concatenation of these.
 func parseCommitReq(b []byte) (oracle.CommitRequest, []byte, error) {
-	if len(b) < 8 {
-		return oracle.CommitRequest{}, nil, ErrBadFrame
-	}
-	req := oracle.CommitRequest{StartTS: binary.BigEndian.Uint64(b[:8])}
-	var err error
-	rest := b[8:]
-	req.WriteSet, rest, err = parseRows(rest)
-	if err != nil {
-		return oracle.CommitRequest{}, nil, err
-	}
-	req.ReadSet, rest, err = parseRows(rest)
+	var req oracle.CommitRequest
+	rest, err := parseCommitReqInto(&req, b)
 	if err != nil {
 		return oracle.CommitRequest{}, nil, err
 	}
 	return req, rest, nil
 }
 
-// encodeCommitBatchReq renders a batched commit payload: count(u32) followed
-// by the concatenated single-commit encodings.
-func encodeCommitBatchReq(reqs []oracle.CommitRequest) []byte {
-	b := make([]byte, 4, 4+len(reqs)*32)
-	binary.BigEndian.PutUint32(b, uint32(len(reqs)))
+// parseCommitReqInto decodes one commit request in place, reusing req's
+// row-set backing arrays.
+func parseCommitReqInto(req *oracle.CommitRequest, b []byte) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, ErrBadFrame
+	}
+	req.StartTS = binary.BigEndian.Uint64(b[:8])
+	var err error
+	rest := b[8:]
+	req.WriteSet, rest, err = parseRowsInto(rest, req.WriteSet)
+	if err != nil {
+		return nil, err
+	}
+	req.ReadSet, rest, err = parseRowsInto(rest, req.ReadSet)
+	if err != nil {
+		return nil, err
+	}
+	return rest, nil
+}
+
+// appendCommitBatchReq renders a batched commit payload: count(u32)
+// followed by the concatenated single-commit encodings.
+func appendCommitBatchReq(b []byte, reqs []oracle.CommitRequest) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(reqs)))
+	b = append(b, n[:]...)
 	for i := range reqs {
-		b = append(b, encodeCommitReq(reqs[i])...)
+		b = appendCommitReq(b, reqs[i])
 	}
 	return b
 }
 
 func decodeCommitBatchReq(b []byte) ([]oracle.CommitRequest, error) {
+	return decodeCommitBatchReqInto(nil, b)
+}
+
+// decodeCommitBatchReqInto decodes a commit batch reusing the scratch
+// request slice and each request's row-set arrays; at steady state a
+// handler decodes batches with zero allocation.
+func decodeCommitBatchReqInto(scratch []oracle.CommitRequest, b []byte) ([]oracle.CommitRequest, error) {
 	if len(b) < 4 {
 		return nil, ErrBadFrame
 	}
@@ -198,10 +254,16 @@ func decodeCommitBatchReq(b []byte) ([]oracle.CommitRequest, error) {
 	if uint64(count)*16 > uint64(len(rest)) {
 		return nil, ErrBadFrame
 	}
-	reqs := make([]oracle.CommitRequest, count)
+	reqs := scratch
+	if uint64(cap(reqs)) < uint64(count) {
+		reqs = make([]oracle.CommitRequest, count)
+		// Salvage the old entries' row-set capacity.
+		copy(reqs, scratch[:cap(scratch)])
+	}
+	reqs = reqs[:count:cap(reqs)]
 	var err error
 	for i := range reqs {
-		reqs[i], rest, err = parseCommitReq(rest)
+		rest, err = parseCommitReqInto(&reqs[i], rest)
 		if err != nil {
 			return nil, err
 		}
@@ -232,15 +294,20 @@ func parseCommitResult(b []byte) (oracle.CommitResult, error) {
 	}, nil
 }
 
-// encodeCommitBatchResp renders the decisions of a commit batch:
+// appendCommitBatchResp renders the decisions of a commit batch:
 // count(u32) then 9 bytes per result.
-func encodeCommitBatchResp(results []oracle.CommitResult) []byte {
-	b := make([]byte, 4, 4+len(results)*9)
-	binary.BigEndian.PutUint32(b, uint32(len(results)))
+func appendCommitBatchResp(b []byte, results []oracle.CommitResult) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(results)))
+	b = append(b, n[:]...)
 	for i := range results {
 		b = encodeCommitResult(b, results[i])
 	}
 	return b
+}
+
+func encodeCommitBatchResp(results []oracle.CommitResult) []byte {
+	return appendCommitBatchResp(make([]byte, 0, 4+len(results)*9), results)
 }
 
 func decodeCommitBatchResp(b []byte) ([]oracle.CommitResult, error) {
@@ -271,6 +338,13 @@ func u64(v uint64) []byte {
 	return b[:]
 }
 
+// appendU64 appends one big-endian uint64.
+func appendU64(b []byte, v uint64) []byte {
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], v)
+	return append(b, e[:]...)
+}
+
 func parseU64(b []byte) (uint64, error) {
 	if len(b) != 8 {
 		return 0, ErrBadFrame
@@ -278,12 +352,14 @@ func parseU64(b []byte) (uint64, error) {
 	return binary.BigEndian.Uint64(b), nil
 }
 
-// encodeTxnStatus renders a TxnStatus payload: status(u8) commitTS(u64).
+// appendTxnStatus renders a TxnStatus payload: status(u8) commitTS(u64).
+func appendTxnStatus(b []byte, st oracle.TxnStatus) []byte {
+	b = append(b, byte(st.Status))
+	return appendU64(b, st.CommitTS)
+}
+
 func encodeTxnStatus(st oracle.TxnStatus) []byte {
-	b := make([]byte, 9)
-	b[0] = byte(st.Status)
-	binary.BigEndian.PutUint64(b[1:], st.CommitTS)
-	return b
+	return appendTxnStatus(make([]byte, 0, 9), st)
 }
 
 func parseTxnStatus(b []byte) (oracle.TxnStatus, error) {
@@ -296,20 +372,28 @@ func parseTxnStatus(b []byte) (oracle.TxnStatus, error) {
 	}, nil
 }
 
-// encodeQueryBatchReq renders a batched status-query payload: count(u32)
+// appendQueryBatchReq renders a batched status-query payload: count(u32)
 // followed by the start timestamps.
-func encodeQueryBatchReq(startTSs []uint64) []byte {
-	b := make([]byte, 4, 4+len(startTSs)*8)
-	binary.BigEndian.PutUint32(b, uint32(len(startTSs)))
+func appendQueryBatchReq(b []byte, startTSs []uint64) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(startTSs)))
+	b = append(b, n[:]...)
 	for _, ts := range startTSs {
-		var v [8]byte
-		binary.BigEndian.PutUint64(v[:], ts)
-		b = append(b, v[:]...)
+		b = appendU64(b, ts)
 	}
 	return b
 }
 
+func encodeQueryBatchReq(startTSs []uint64) []byte {
+	return appendQueryBatchReq(make([]byte, 0, 4+len(startTSs)*8), startTSs)
+}
+
 func decodeQueryBatchReq(b []byte) ([]uint64, error) {
+	return decodeQueryBatchReqInto(nil, b)
+}
+
+// decodeQueryBatchReqInto decodes a query batch into the scratch slice.
+func decodeQueryBatchReqInto(scratch []uint64, b []byte) ([]uint64, error) {
 	if len(b) < 4 {
 		return nil, ErrBadFrame
 	}
@@ -318,23 +402,25 @@ func decodeQueryBatchReq(b []byte) ([]uint64, error) {
 	if uint64(len(rest)) != uint64(count)*8 {
 		return nil, ErrBadFrame
 	}
-	startTSs := make([]uint64, count)
+	startTSs := scratch
+	if uint64(cap(startTSs)) < uint64(count) {
+		startTSs = make([]uint64, count)
+	}
+	startTSs = startTSs[:count:cap(startTSs)]
 	for i := range startTSs {
 		startTSs[i] = binary.BigEndian.Uint64(rest[i*8 : i*8+8])
 	}
 	return startTSs, nil
 }
 
-// encodeQueryBatchResp renders the statuses of a query batch: count(u32)
+// appendQueryBatchResp renders the statuses of a query batch: count(u32)
 // then 9 bytes per TxnStatus.
-func encodeQueryBatchResp(statuses []oracle.TxnStatus) []byte {
-	b := make([]byte, 4, 4+len(statuses)*9)
-	binary.BigEndian.PutUint32(b, uint32(len(statuses)))
+func appendQueryBatchResp(b []byte, statuses []oracle.TxnStatus) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(statuses)))
+	b = append(b, n[:]...)
 	for i := range statuses {
-		b = append(b, byte(statuses[i].Status))
-		var v [8]byte
-		binary.BigEndian.PutUint64(v[:], statuses[i].CommitTS)
-		b = append(b, v[:]...)
+		b = appendTxnStatus(b, statuses[i])
 	}
 	return b
 }
@@ -359,34 +445,36 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 	return statuses, nil
 }
 
-// statsPayloadLen is the fixed size of an opStats response: 20 fields of 8
-// bytes (counters as u64, averages as IEEE-754 bits). Fields 11–14 are the
-// availability counters: checkpoints written, last checkpoint bound,
-// records replayed by the last recovery, and its duration in nanoseconds.
-// Fields 15–19 are the partition counters: prepares checked, prepare no
-// votes, decides applied, mean prepare→decide wait, and the fraction of
-// write transactions that arrived through the two-phase path.
-const statsPayloadLen = 20 * 8
+// statsPayloadLen is the fixed size of an opStats response: 24 fields of 8
+// bytes (counters as u64, averages/ratios as IEEE-754 bits). Fields 11–14
+// are the availability counters: checkpoints written, last checkpoint
+// bound, records replayed by the last recovery, and its duration in
+// nanoseconds. Fields 15–19 are the partition counters: prepares checked,
+// prepare no votes, decides applied, mean prepare→decide wait, and the
+// fraction of write transactions that arrived through the two-phase path.
+// Fields 20–23 are the allocation-discipline counters: open-table load
+// factor, incremental rehashes, and the server's frame-pool hits/misses.
+const statsPayloadLen = 24 * 8
 
-// encodeStats renders the oracle counters in wire order.
-func encodeStats(st oracle.Stats) []byte {
-	out := make([]byte, statsPayloadLen)
-	for i, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts, st.Batches} {
-		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+// appendStats renders the oracle counters in wire order.
+func appendStats(b []byte, st oracle.Stats) []byte {
+	for _, v := range []int64{st.Begins, st.Commits, st.ReadOnlyCommits, st.ConflictAborts, st.TmaxAborts, st.ExplicitAborts, st.Batches} {
+		b = appendU64(b, uint64(v))
 	}
-	binary.BigEndian.PutUint64(out[7*8:], math.Float64bits(st.BatchSizeAvg))
-	binary.BigEndian.PutUint64(out[8*8:], uint64(st.Queries))
-	binary.BigEndian.PutUint64(out[9*8:], uint64(st.QueryBatches))
-	binary.BigEndian.PutUint64(out[10*8:], math.Float64bits(st.QueryBatchSizeAvg))
-	for i, v := range []int64{st.Checkpoints, st.LastCheckpointTS, st.ReplayedRecords, st.RecoveryNanos} {
-		binary.BigEndian.PutUint64(out[(11+i)*8:], uint64(v))
+	b = appendU64(b, math.Float64bits(st.BatchSizeAvg))
+	b = appendU64(b, uint64(st.Queries))
+	b = appendU64(b, uint64(st.QueryBatches))
+	b = appendU64(b, math.Float64bits(st.QueryBatchSizeAvg))
+	for _, v := range []int64{st.Checkpoints, st.LastCheckpointTS, st.ReplayedRecords, st.RecoveryNanos, st.Prepares, st.PrepareNoVotes, st.Decides} {
+		b = appendU64(b, uint64(v))
 	}
-	for i, v := range []int64{st.Prepares, st.PrepareNoVotes, st.Decides} {
-		binary.BigEndian.PutUint64(out[(15+i)*8:], uint64(v))
-	}
-	binary.BigEndian.PutUint64(out[18*8:], math.Float64bits(st.DecideWaitAvg))
-	binary.BigEndian.PutUint64(out[19*8:], math.Float64bits(st.CrossPartitionRatio))
-	return out
+	b = appendU64(b, math.Float64bits(st.DecideWaitAvg))
+	b = appendU64(b, math.Float64bits(st.CrossPartitionRatio))
+	b = appendU64(b, math.Float64bits(st.TableLoadFactor))
+	b = appendU64(b, uint64(st.Rehashes))
+	b = appendU64(b, uint64(st.PooledFrameHits))
+	b = appendU64(b, uint64(st.PooledFrameMisses))
+	return b
 }
 
 func decodeStats(b []byte) (oracle.Stats, error) {
@@ -415,6 +503,10 @@ func decodeStats(b []byte) (oracle.Stats, error) {
 		Decides:             v(17),
 		DecideWaitAvg:       math.Float64frombits(binary.BigEndian.Uint64(b[18*8:])),
 		CrossPartitionRatio: math.Float64frombits(binary.BigEndian.Uint64(b[19*8:])),
+		TableLoadFactor:     math.Float64frombits(binary.BigEndian.Uint64(b[20*8:])),
+		Rehashes:            v(21),
+		PooledFrameHits:     v(22),
+		PooledFrameMisses:   v(23),
 	}, nil
 }
 
@@ -452,11 +544,71 @@ func parsePrepareReq(b []byte) (oracle.PrepareRequest, []byte, error) {
 	return req, rest, nil
 }
 
-// encodePrepareBatchReq renders a batch of prepare slices (also the
+// Note: opPrepareBatch decoding deliberately does NOT reuse row-set
+// scratch — a prepared transaction's row sets are retained by the oracle
+// until its decide arrives, so the decoded slices escape the handler. The
+// one-shot opCommitAtBatch path retains nothing and decodes through the
+// scratch-reusing variant below.
+
+// parsePrepareReqInto decodes one prepare slice in place, reusing req's
+// row-set backing arrays. Only for ops whose handling does not retain the
+// row sets past the call (CommitAtBatch).
+func parsePrepareReqInto(req *oracle.PrepareRequest, b []byte) ([]byte, error) {
+	if len(b) < 16 {
+		return nil, ErrBadFrame
+	}
+	req.StartTS = binary.BigEndian.Uint64(b[:8])
+	req.CommitTS = binary.BigEndian.Uint64(b[8:16])
+	var err error
+	rest := b[16:]
+	req.WriteSet, rest, err = parseRowsInto(rest, req.WriteSet)
+	if err != nil {
+		return nil, err
+	}
+	req.ReadSet, rest, err = parseRowsInto(rest, req.ReadSet)
+	if err != nil {
+		return nil, err
+	}
+	return rest, nil
+}
+
+// decodePrepareBatchReqInto decodes a prepare/commit-at batch reusing the
+// scratch request slice and row-set arrays; same retention caveat as
+// parsePrepareReqInto.
+func decodePrepareBatchReqInto(scratch []oracle.PrepareRequest, b []byte) ([]oracle.PrepareRequest, error) {
+	if len(b) < 4 {
+		return nil, ErrBadFrame
+	}
+	count := binary.BigEndian.Uint32(b[:4])
+	rest := b[4:]
+	if uint64(count)*24 > uint64(len(rest)) {
+		return nil, ErrBadFrame
+	}
+	reqs := scratch
+	if uint64(cap(reqs)) < uint64(count) {
+		reqs = make([]oracle.PrepareRequest, count)
+		copy(reqs, scratch[:cap(scratch)])
+	}
+	reqs = reqs[:count:cap(reqs)]
+	var err error
+	for i := range reqs {
+		rest, err = parsePrepareReqInto(&reqs[i], rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadFrame
+	}
+	return reqs, nil
+}
+
+// appendPrepareBatchReq renders a batch of prepare slices (also the
 // commit-at-batch payload): count(u32) + concatenated encodings.
-func encodePrepareBatchReq(reqs []oracle.PrepareRequest) []byte {
-	b := make([]byte, 4, 4+len(reqs)*40)
-	binary.BigEndian.PutUint32(b, uint32(len(reqs)))
+func appendPrepareBatchReq(b []byte, reqs []oracle.PrepareRequest) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(reqs)))
+	b = append(b, n[:]...)
 	for i := range reqs {
 		b = encodePrepareReq(b, reqs[i])
 	}
@@ -488,10 +640,11 @@ func decodePrepareBatchReq(b []byte) ([]oracle.PrepareRequest, error) {
 	return reqs, nil
 }
 
-// encodeVotesResp renders prepare votes: count(u32) + one byte per vote.
-func encodeVotesResp(votes []bool) []byte {
-	b := make([]byte, 4, 4+len(votes))
-	binary.BigEndian.PutUint32(b, uint32(len(votes)))
+// appendVotesResp renders prepare votes: count(u32) + one byte per vote.
+func appendVotesResp(b []byte, votes []bool) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(votes)))
+	b = append(b, n[:]...)
 	for _, v := range votes {
 		if v {
 			b = append(b, 1)
@@ -518,11 +671,12 @@ func decodeVotesResp(b []byte) ([]bool, error) {
 	return votes, nil
 }
 
-// encodeDecideBatchReq renders a batch of verdicts: count(u32), then per
+// appendDecideBatchReq renders a batch of verdicts: count(u32), then per
 // decision commit(u8) startTS(u64) commitTS(u64).
-func encodeDecideBatchReq(ds []oracle.Decision) []byte {
-	b := make([]byte, 4, 4+len(ds)*17)
-	binary.BigEndian.PutUint32(b, uint32(len(ds)))
+func appendDecideBatchReq(b []byte, ds []oracle.Decision) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(ds)))
+	b = append(b, n[:]...)
 	for _, d := range ds {
 		var e [17]byte
 		if d.Commit {
@@ -574,19 +728,22 @@ func parseEvent(b []byte) (oracle.Event, error) {
 	}, nil
 }
 
+// appendRespHdr starts a response body: reqID(u64) code(u8). Payload bytes
+// are appended after it.
+func appendRespHdr(b []byte, reqID uint64, code byte) []byte {
+	b = appendU64(b, reqID)
+	return append(b, code)
+}
+
 // respError renders an error response payload.
 func respError(reqID uint64, err error) []byte {
-	body := make([]byte, 9, 9+len(err.Error()))
-	binary.BigEndian.PutUint64(body[:8], reqID)
-	body[8] = codeErr
+	body := appendRespHdr(make([]byte, 0, 9+len(err.Error())), reqID, codeErr)
 	return append(body, err.Error()...)
 }
 
 // respOK renders a success response with payload.
 func respOK(reqID uint64, payload []byte) []byte {
-	body := make([]byte, 9, 9+len(payload))
-	binary.BigEndian.PutUint64(body[:8], reqID)
-	body[8] = codeOK
+	body := appendRespHdr(make([]byte, 0, 9+len(payload)), reqID, codeOK)
 	return append(body, payload...)
 }
 

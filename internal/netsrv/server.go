@@ -55,6 +55,48 @@ type Server struct {
 	// already batches.
 	CoalesceMaxBatch int
 	CoalesceMaxDelay time.Duration
+
+	// ctxPool recycles per-request handler contexts (frame read buffer,
+	// decode scratch, response build buffer); poolHits/poolMisses feed the
+	// PooledFrameHits/Misses stats fields.
+	ctxPool              sync.Pool
+	poolHits, poolMisses atomic.Int64
+}
+
+// handlerCtx is the reusable scratch of one in-flight request: the raw
+// frame, the decoded request structures (row-set arrays reused across
+// requests), and the buffer the response is built into. One context is
+// checked out of the server pool per frame and returned once the response
+// has been handed to the connection writer, so a steady request rate is
+// served with zero per-request allocation.
+type handlerCtx struct {
+	body    []byte                 // raw frame (request body)
+	resp    []byte                 // response build buffer
+	reqs    []oracle.CommitRequest  // commit-batch decode scratch
+	single  oracle.CommitRequest    // single-commit decode scratch
+	tss     []uint64                // query-batch decode scratch
+	results []oracle.CommitResult   // CommitBatchInto result scratch
+	sts     []oracle.TxnStatus      // QueryBatchInto result scratch
+	preps   []oracle.PrepareRequest // commit-at-batch decode scratch (one-shot path only)
+}
+
+// getCtx checks a handler context out of the pool.
+func (s *Server) getCtx() *handlerCtx {
+	if c, ok := s.ctxPool.Get().(*handlerCtx); ok {
+		s.poolHits.Add(1)
+		return c
+	}
+	s.poolMisses.Add(1)
+	return &handlerCtx{}
+}
+
+// putCtx returns a context once its response is buffered for write.
+func (s *Server) putCtx(c *handlerCtx) {
+	const maxRetained = 1 << 20
+	if cap(c.body) > maxRetained || cap(c.resp) > maxRetained {
+		return // oversized one-off; let the GC have it
+	}
+	s.ctxPool.Put(c)
 }
 
 // defaultCoalesceDelay bounds the extra latency the coalescer may add to a
@@ -182,16 +224,60 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
-// connWriter serializes frame writes on one connection.
+// connWriter coalesces frame writes on one connection: a frame is framed
+// into a pending buffer under the lock, and whichever goroutine finds no
+// flusher active becomes the flusher, draining the pending buffer with one
+// Write syscall per pass. Responses that arrive while a write syscall is in
+// flight pile into the next pass, so a burst of coalesced-batch decisions
+// leaves the server in one flush. The two buffers ping-pong, so the steady
+// state allocates nothing.
 type connWriter struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	conn     net.Conn
+	pending  []byte
+	spare    []byte
+	flushing bool
+	err      error
 }
 
+// maxRetainedWriteBuf caps the buffer capacity the writer keeps across
+// flushes; a one-off giant response does not pin its memory forever.
+const maxRetainedWriteBuf = 1 << 20
+
+// send enqueues one frame. The error reports this connection's first write
+// failure; a frame handed to an active flusher reports nil and fails the
+// flusher's caller instead (all callers of send only log).
 func (w *connWriter) send(body []byte) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return writeFrame(w.conn, body)
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.pending = appendFrame(w.pending, body)
+	if w.flushing {
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	for w.err == nil && len(w.pending) > 0 {
+		buf := w.pending
+		w.pending = w.spare[:0]
+		w.spare = nil
+		w.mu.Unlock()
+		_, err := w.conn.Write(buf)
+		w.mu.Lock()
+		if cap(buf) <= maxRetainedWriteBuf {
+			w.spare = buf[:0]
+		}
+		if err != nil {
+			w.err = err
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
+	return err
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -201,28 +287,39 @@ func (s *Server) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		body, err := readFrame(conn)
+		ctx := s.getCtx()
+		body, err := readFrameInto(conn, ctx.body)
 		if err != nil {
+			s.putCtx(ctx)
 			return // connection closed or broken
 		}
+		ctx.body = body[:len(body):cap(body)]
 		reqID, op, payload, err := splitRequest(body)
 		if err != nil {
+			s.putCtx(ctx)
 			s.logf("netsrv: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
 		if op == opSubscribe {
-			// The connection becomes a one-way event stream;
-			// handle inline and stop reading requests.
+			// The connection becomes a one-way event stream; handle
+			// inline and stop reading requests. The context is released
+			// only after the stream ends — payload aliases ctx.body.
 			s.streamEvents(conn, w, reqID, payload)
+			s.putCtx(ctx)
 			return
 		}
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			resp := s.handle(reqID, op, payload)
+			resp := s.handle(ctx, reqID, op, payload)
 			if err := w.send(resp); err != nil {
 				s.logf("netsrv: write to %s: %v", conn.RemoteAddr(), err)
 			}
+			// send copied resp into the connection's pending buffer, so
+			// the context (and the decode scratch the response may alias)
+			// is free for the next frame.
+			ctx.resp = resp[:0:cap(resp)]
+			s.putCtx(ctx)
 		}()
 	}
 }
@@ -233,16 +330,18 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// handle dispatches one request and returns the response body.
-func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
+// handle dispatches one request and returns the response body, built into
+// ctx.resp (error responses allocate; they are off the steady-state path).
+func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) []byte {
 	so := s.oracle()
+	ok := appendRespHdr(ctx.resp[:0], reqID, codeOK)
 	switch op {
 	case opHealth:
 		role := roleStandby
 		if so != nil {
 			role = rolePrimary
 		}
-		return respOK(reqID, []byte{role})
+		return append(ok, role)
 	case opPromote:
 		return s.handlePromote(reqID)
 	}
@@ -255,32 +354,34 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, u64(ts))
+		return appendU64(ok, ts)
 	case opCommit:
-		req, err := decodeCommitReq(payload)
+		err := decodeCommitReqInto(&ctx.single, payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
 		var res oracle.CommitResult
 		if c := s.coal.Load(); c != nil {
-			res, err = c.submit(req)
+			res, err = c.submit(ctx.single)
 		} else {
-			res, err = so.Commit(req)
+			res, err = so.Commit(ctx.single)
 		}
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeCommitResult(nil, res))
+		return encodeCommitResult(ok, res)
 	case opCommitBatch:
-		reqs, err := decodeCommitBatchReq(payload)
+		reqs, err := decodeCommitBatchReqInto(ctx.reqs, payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
-		results, err := so.CommitBatch(reqs)
+		ctx.reqs = reqs
+		results, err := so.CommitBatchInto(reqs, ctx.results)
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeCommitBatchResp(results))
+		ctx.results = results
+		return appendCommitBatchResp(ok, results)
 	case opAbort:
 		ts, err := parseU64(payload)
 		if err != nil {
@@ -289,7 +390,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err := so.Abort(ts); err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, nil)
+		return ok
 	case opQuery:
 		ts, err := parseU64(payload)
 		if err != nil {
@@ -304,13 +405,16 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		} else {
 			st = so.Query(ts)
 		}
-		return respOK(reqID, encodeTxnStatus(st))
+		return appendTxnStatus(ok, st)
 	case opQueryBatch:
-		startTSs, err := decodeQueryBatchReq(payload)
+		startTSs, err := decodeQueryBatchReqInto(ctx.tss, payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeQueryBatchResp(so.QueryBatch(startTSs)))
+		ctx.tss = startTSs
+		sts := so.QueryBatchInto(startTSs, ctx.sts)
+		ctx.sts = sts
+		return appendQueryBatchResp(ok, sts)
 	case opPrepareBatch:
 		reqs, err := decodePrepareBatchReq(payload)
 		if err != nil {
@@ -323,7 +427,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeVotesResp(votes))
+		return appendVotesResp(ok, votes)
 	case opDecideBatch:
 		ds, err := decodeDecideBatchReq(payload)
 		if err != nil {
@@ -332,12 +436,15 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err := so.DecideBatch(ds); err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, nil)
+		return ok
 	case opCommitAtBatch:
-		reqs, err := decodePrepareBatchReq(payload)
+		// The one-shot fast path retains nothing, so — unlike
+		// opPrepareBatch — it decodes through the pooled scratch.
+		reqs, err := decodePrepareBatchReqInto(ctx.preps, payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
+		ctx.preps = reqs
 		if err := s.checkOwnership(reqs); err != nil {
 			return respError(reqID, err)
 		}
@@ -345,7 +452,7 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, encodeCommitBatchResp(results))
+		return appendCommitBatchResp(ok, results)
 	case opBeginBlock:
 		n, err := parseU64(payload)
 		if err != nil {
@@ -358,16 +465,19 @@ func (s *Server) handle(reqID uint64, op byte, payload []byte) []byte {
 		if err != nil {
 			return respError(reqID, err)
 		}
-		return respOK(reqID, u64(lo))
+		return appendU64(ok, lo)
 	case opForget:
 		ts, err := parseU64(payload)
 		if err != nil {
 			return respError(reqID, err)
 		}
 		so.Forget(ts)
-		return respOK(reqID, nil)
+		return ok
 	case opStats:
-		return respOK(reqID, encodeStats(so.Stats()))
+		st := so.Stats()
+		st.PooledFrameHits = s.poolHits.Load()
+		st.PooledFrameMisses = s.poolMisses.Load()
+		return appendStats(ok, st)
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}
@@ -449,11 +559,13 @@ func (s *Server) streamEvents(conn net.Conn, w *connWriter, reqID uint64, payloa
 	if err := w.send(respOK(reqID, nil)); err != nil {
 		return
 	}
+	body := make([]byte, 0, 9+16)
 	for e := range sub.C {
-		body := make([]byte, 9, 9+16)
-		binary.BigEndian.PutUint64(body[:8], 0)
-		body[8] = codeEvent
-		body = append(body, encodeEvent(e)...)
+		// send copies the frame into the connection's pending buffer, so
+		// one event buffer serves the whole stream.
+		body = appendRespHdr(body[:0], 0, codeEvent)
+		body = appendU64(body, e.StartTS)
+		body = appendU64(body, e.CommitTS)
 		if err := w.send(body); err != nil {
 			return
 		}

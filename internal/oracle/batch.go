@@ -3,6 +3,7 @@ package oracle
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // batchPlaceholderBase is the provisional commit timestamp assigned to a
@@ -68,10 +69,25 @@ func (s *StatusOracle) batchLockSet(reqs []CommitRequest, writeIdx []int) []int 
 // an infrastructure failure (timestamp oracle or WAL) for the whole batch,
 // not a conflict.
 func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error) {
+	return s.CommitBatchInto(reqs, nil)
+}
+
+// CommitBatchInto is CommitBatch writing its decisions into the caller's
+// result buffer (grown only when capacity is insufficient), so a caller
+// that recycles the buffer — the network server's pooled handler contexts —
+// pays no allocation for the decision vector. results[i] answers reqs[i].
+func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitResult) ([]CommitResult, error) {
 	if err, ok := s.failed.Load().(error); ok {
 		return nil, err
 	}
-	results := make([]CommitResult, len(reqs))
+	results := scratch
+	if cap(results) < len(reqs) {
+		results = make([]CommitResult, len(reqs))
+	}
+	results = results[:len(reqs)]
+	for i := range results {
+		results[i] = CommitResult{}
+	}
 	// Stack-backed index buffers keep small batches — in particular the
 	// serial Commit wrapper's batch of one — off the heap.
 	var writeIdxBuf, committedBuf [16]int
@@ -114,7 +130,8 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 	// tentative lastCommit updates under placeholder timestamps, so later
 	// requests in the batch observe earlier intra-batch commits — and the
 	// evictions they cause — exactly as a serial execution would.
-	var aborts []batchAbort
+	var abortsBuf [16]batchAbort
+	aborts := abortsBuf[:0]
 	committed := committedBuf[:0]
 	if len(writeIdx) > len(committedBuf) {
 		committed = make([]int, 0, len(writeIdx))
@@ -172,17 +189,20 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 			ts := lo + uint64(k)
 			for _, r := range reqs[i].WriteSet {
 				sh := s.shards[s.shardOf(r)]
-				if cur, ok := sh.lastCommit[r]; ok && cur == ph {
-					sh.lastCommit[r] = ts
+				if cur, ok := sh.getRow(r); ok && cur == ph {
+					sh.putRow(r, ts)
 				}
 			}
 		}
 		for _, li := range locks {
 			sh := s.shards[li]
-			for qi := range sh.queue {
-				if sh.queue[qi].ts >= batchPlaceholderBase {
-					sh.queue[qi].ts = lo + (sh.queue[qi].ts - batchPlaceholderBase)
-				}
+			// Placeholder queue entries are exactly the entries this batch
+			// appended: appends go to the tail, pops leave the head, and
+			// compaction preserves order, so they form a contiguous tail
+			// suffix — the fixup walks backward and stops at the first real
+			// timestamp instead of scanning the whole O(capacity) queue.
+			for qi := len(sh.queue) - 1; qi >= 0 && sh.queue[qi].ts >= batchPlaceholderBase; qi-- {
+				sh.queue[qi].ts = lo + (sh.queue[qi].ts - batchPlaceholderBase)
 			}
 			if sh.tmax >= batchPlaceholderBase {
 				sh.tmax = lo + (sh.tmax - batchPlaceholderBase)
@@ -215,14 +235,21 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 	}
 
 	// Persist before acknowledging (Appendix A): the entire batch costs one
-	// group-commit latency.
+	// group-commit latency. The record is built in a pooled buffer and the
+	// entry vector on the stack when small: AppendAll frames entries into
+	// the writer's own buffer before returning, so both are reusable the
+	// moment it acknowledges.
 	if s.cfg.WAL != nil {
-		entries := make([][]byte, 0, 1+len(aborts))
-		entries = append(entries, s.encodeBatchWAL(reqs, committed, lo))
+		rec := walRecPool.Get().(*[]byte)
+		*rec = appendCommitBatchRecord((*rec)[:0], reqs, committed, lo)
+		var entriesBuf [8][]byte
+		entries := append(entriesBuf[:0], *rec)
 		for _, a := range aborts {
 			entries = append(entries, encodeAbortRecord(reqs[a.idx].StartTS))
 		}
-		if err := s.cfg.WAL.AppendAll(entries...); err != nil {
+		err := s.cfg.WAL.AppendAll(entries...)
+		walRecPool.Put(rec)
+		if err != nil {
 			s.latchFence(err)
 			s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
 			return nil, fmt.Errorf("oracle: persist commit batch: %w", err)
@@ -237,15 +264,21 @@ func (s *StatusOracle) CommitBatch(reqs []CommitRequest) ([]CommitResult, error)
 	return results, nil
 }
 
-// encodeBatchWAL renders the committed subset of a batch as one WAL record.
-func (s *StatusOracle) encodeBatchWAL(reqs []CommitRequest, committed []int, lo uint64) []byte {
-	commits := make([]commitEntry, len(committed))
+// walRecPool recycles commit-batch WAL record buffers: the WAL writer
+// frames entries into its own buffer before AppendAll returns, so a record
+// buffer is reusable as soon as the append is acknowledged.
+var walRecPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 1024); return &b }}
+
+// appendCommitBatchRecord renders the committed subset of a batch directly
+// from the request slice as one recCommitBatch WAL record, skipping the
+// intermediate commitEntry vector. Layout matches encodeCommitBatchRecord.
+func appendCommitBatchRecord(b []byte, reqs []CommitRequest, committed []int, lo uint64) []byte {
+	b = append(b, recCommitBatch)
+	b = appendU32(b, uint32(len(committed)))
 	for k, i := range committed {
-		commits[k] = commitEntry{
-			StartTS:  reqs[i].StartTS,
-			CommitTS: lo + uint64(k),
-			WriteSet: reqs[i].WriteSet,
-		}
+		b = appendU64(b, reqs[i].StartTS)
+		b = appendU64(b, lo+uint64(k))
+		b = appendRowSet(b, reqs[i].WriteSet)
 	}
-	return encodeCommitBatchRecord(commits)
+	return b
 }

@@ -285,10 +285,10 @@ func (s *StatusOracle) captureCheckpoint(tsoBound uint64) *checkpointState {
 		sh.mu.Lock()
 		st := &cp.Shards[i]
 		st.Tmax = sh.tmax
-		st.Rows = make([]evictEntry, 0, len(sh.lastCommit))
-		for r, ts := range sh.lastCommit {
+		st.Rows = make([]evictEntry, 0, sh.rowCount())
+		sh.forEachRow(func(r RowID, ts uint64) {
 			st.Rows = append(st.Rows, evictEntry{row: r, ts: ts})
-		}
+		})
 		st.Queue = append([]evictEntry(nil), sh.queue...)
 		sh.mu.Unlock()
 		sort.Slice(st.Rows, func(a, b int) bool { return st.Rows[a].row < st.Rows[b].row })
@@ -341,9 +341,9 @@ func (s *StatusOracle) applyCheckpoint(cp *checkpointState) error {
 	for i, sh := range s.shards {
 		st := &cp.Shards[i]
 		sh.mu.Lock()
-		sh.lastCommit = make(map[RowID]uint64, len(st.Rows))
+		sh.resetRows(len(st.Rows))
 		for _, e := range st.Rows {
-			sh.lastCommit[e.row] = e.ts
+			sh.putRow(e.row, e.ts)
 		}
 		sh.queue = append([]evictEntry(nil), st.Queue...)
 		sh.tmax = st.Tmax

@@ -74,10 +74,51 @@ func (e Engine) String() string {
 	}
 }
 
+// TableKind selects the lastCommit storage backend of a shard.
+type TableKind uint8
+
+const (
+	// TableOpen (the default) stores lastCommit in an open-addressed,
+	// linear-probe slot array: conflict checks are inline cache-line scans
+	// with zero pointer chasing and zero steady-state allocation.
+	TableOpen TableKind = iota
+	// TableMap keeps the original map[RowID]uint64 shard, retained as the
+	// reference implementation behind this flag; the equivalence tests
+	// prove the two backends produce bit-identical decisions.
+	TableMap
+)
+
+func (k TableKind) String() string {
+	switch k {
+	case TableOpen:
+		return "open"
+	case TableMap:
+		return "map"
+	default:
+		return fmt.Sprintf("TableKind(%d)", uint8(k))
+	}
+}
+
+// ParseTableKind parses "open" or "map" (the -table flag of
+// cmd/oracle-server).
+func ParseTableKind(s string) (TableKind, error) {
+	switch s {
+	case "open", "":
+		return TableOpen, nil
+	case "map":
+		return TableMap, nil
+	default:
+		return 0, fmt.Errorf("oracle: unknown table kind %q (want open or map)", s)
+	}
+}
+
 // Config parameterizes a status oracle.
 type Config struct {
 	// Engine selects SI or WSI conflict detection.
 	Engine Engine
+	// Table selects the lastCommit storage backend: TableOpen (default)
+	// or the map-based reference implementation.
+	Table TableKind
 	// MaxRows bounds the number of rows retained in lastCommit
 	// (Algorithm 3's NR). Zero keeps every row (no Tmax aborts).
 	MaxRows int
@@ -173,7 +214,7 @@ func New(cfg Config) (*StatusOracle, error) {
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = newShard(perShard)
+		s.shards[i] = newShard(perShard, cfg.Table)
 	}
 	return s, nil
 }
@@ -242,7 +283,22 @@ func (s *StatusOracle) Query(startTS uint64) TxnStatus {
 // batches of status lookups proceed concurrently with each other and with
 // the batched commit path.
 func (s *StatusOracle) QueryBatch(startTSs []uint64) []TxnStatus {
-	out := make([]TxnStatus, len(startTSs))
+	return s.QueryBatchInto(startTSs, nil)
+}
+
+// QueryBatchInto is QueryBatch writing into the caller's result buffer
+// (grown only when capacity is insufficient); the network server's pooled
+// handler contexts recycle it so batched status resolution allocates
+// nothing at steady state.
+func (s *StatusOracle) QueryBatchInto(startTSs []uint64, scratch []TxnStatus) []TxnStatus {
+	out := scratch
+	if cap(out) < len(startTSs) {
+		out = make([]TxnStatus, len(startTSs))
+	}
+	out = out[:len(startTSs)]
+	for i := range out {
+		out[i] = TxnStatus{}
+	}
 	if len(startTSs) == 0 {
 		return out
 	}
@@ -277,7 +333,7 @@ func (s *StatusOracle) RetainedRows() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		n += len(sh.lastCommit)
+		n += sh.rowCount()
 		sh.mu.Unlock()
 	}
 	return n
@@ -289,17 +345,38 @@ func (s *StatusOracle) LastCommitOf(r RowID) (uint64, bool) {
 	sh := s.shards[s.shardOf(r)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	tc, ok := sh.lastCommit[r]
-	return tc, ok
+	return sh.getRow(r)
 }
 
-// Stats returns a snapshot of the oracle's counters.
-func (s *StatusOracle) Stats() Stats { return s.stats.snapshot() }
+// Stats returns a snapshot of the oracle's counters. TableLoadFactor and
+// Rehashes come from the live open-addressed shards (zero under TableMap).
+func (s *StatusOracle) Stats() Stats {
+	st := s.stats.snapshot()
+	var live, slots, rehashes int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.rows != nil {
+			live += int64(sh.rows.len())
+			slots += int64(sh.rows.slotCount())
+			rehashes += sh.rows.rehashes
+		}
+		sh.mu.Unlock()
+	}
+	if slots > 0 {
+		st.TableLoadFactor = float64(live) / float64(slots)
+	}
+	st.Rehashes = rehashes
+	return st
+}
 
 // shard is one lock-striped fragment of the lastCommit state. capacity 0
-// means unbounded.
+// means unbounded. Exactly one of rows (open-addressed, the default) and
+// lastCommit (the map reference implementation) is non-nil; getRow/putRow/
+// delRow dispatch on that, and the branch is cheaper than an interface call
+// on the conflict check's inner loop.
 type shard struct {
 	mu         sync.Mutex
+	rows       *openRowTable
 	lastCommit map[RowID]uint64
 	queue      []evictEntry // FIFO of insertions for NR-bounded eviction
 	capacity   int
@@ -317,14 +394,77 @@ type evictEntry struct {
 	ts  uint64
 }
 
-func newShard(capacity int) *shard {
-	return &shard{lastCommit: make(map[RowID]uint64), capacity: capacity}
+func newShard(capacity int, kind TableKind) *shard {
+	sh := &shard{capacity: capacity}
+	if kind == TableMap {
+		sh.lastCommit = make(map[RowID]uint64)
+	} else {
+		sh.rows = newOpenRowTable(capacity)
+	}
+	return sh
+}
+
+// getRow returns a row's retained last-commit timestamp. Caller holds sh.mu.
+func (sh *shard) getRow(r RowID) (uint64, bool) {
+	if sh.rows != nil {
+		return sh.rows.get(uint64(r))
+	}
+	tc, ok := sh.lastCommit[r]
+	return tc, ok
+}
+
+// putRow inserts or overwrites a row's timestamp. Caller holds sh.mu.
+func (sh *shard) putRow(r RowID, ts uint64) {
+	if sh.rows != nil {
+		sh.rows.put(uint64(r), ts)
+		return
+	}
+	sh.lastCommit[r] = ts
+}
+
+// delRow removes a row. Caller holds sh.mu.
+func (sh *shard) delRow(r RowID) {
+	if sh.rows != nil {
+		sh.rows.del(uint64(r))
+		return
+	}
+	delete(sh.lastCommit, r)
+}
+
+// rowCount returns the number of retained rows. Caller holds sh.mu.
+func (sh *shard) rowCount() int {
+	if sh.rows != nil {
+		return sh.rows.len()
+	}
+	return len(sh.lastCommit)
+}
+
+// forEachRow visits every retained row in unspecified order. Caller holds
+// sh.mu.
+func (sh *shard) forEachRow(fn func(r RowID, ts uint64)) {
+	if sh.rows != nil {
+		sh.rows.forEach(func(k, ts uint64) { fn(RowID(k), ts) })
+		return
+	}
+	for r, ts := range sh.lastCommit {
+		fn(r, ts)
+	}
+}
+
+// resetRows clears the row storage, pre-sizing for n rows. Caller holds
+// sh.mu.
+func (sh *shard) resetRows(n int) {
+	if sh.rows != nil {
+		sh.rows = newOpenRowTable(n)
+		return
+	}
+	sh.lastCommit = make(map[RowID]uint64, n)
 }
 
 // update sets the row's last commit timestamp and evicts the oldest rows
 // beyond capacity, maintaining tmax. Caller holds sh.mu.
 func (sh *shard) update(r RowID, ts uint64) {
-	sh.lastCommit[r] = ts
+	sh.putRow(r, ts)
 	if sh.capacity <= 0 {
 		return
 	}
@@ -334,20 +474,20 @@ func (sh *shard) update(r RowID, ts uint64) {
 	if len(sh.queue) > 4*sh.capacity+16 {
 		live := sh.queue[:0]
 		for _, e := range sh.queue {
-			if cur, ok := sh.lastCommit[e.row]; ok && cur == e.ts {
+			if cur, ok := sh.getRow(e.row); ok && cur == e.ts {
 				live = append(live, e)
 			}
 		}
 		sh.queue = live
 	}
-	for len(sh.lastCommit) > sh.capacity && len(sh.queue) > 0 {
+	for sh.rowCount() > sh.capacity && len(sh.queue) > 0 {
 		head := sh.queue[0]
 		sh.queue = sh.queue[1:]
 		// Only evict if the queued entry is still the row's current
 		// value; otherwise a newer update supersedes it and this
 		// queue entry is stale.
-		if cur, ok := sh.lastCommit[head.row]; ok && cur == head.ts {
-			delete(sh.lastCommit, head.row)
+		if cur, ok := sh.getRow(head.row); ok && cur == head.ts {
+			sh.delRow(head.row)
 			if head.ts > sh.tmax {
 				sh.tmax = head.ts
 			}
@@ -361,7 +501,7 @@ func (sh *shard) update(r RowID, ts uint64) {
 // timestamp, so the conflict check's view of the latest committed writer
 // stays monotone. Caller holds sh.mu.
 func (sh *shard) updateMax(r RowID, ts uint64) {
-	if cur, ok := sh.lastCommit[r]; ok {
+	if cur, ok := sh.getRow(r); ok {
 		// Equality reapplies: a write set may list a row twice, and the
 		// live path's unconditional update records one eviction-queue
 		// entry per occurrence — replay must match it entry for entry.

@@ -135,7 +135,7 @@ func (s *StatusOracle) checkConflict(startTS uint64, writeSet, readSet []RowID) 
 	}
 	for _, r := range checkRows {
 		sh := s.shards[s.shardOf(r)]
-		if tc, ok := sh.lastCommit[r]; ok {
+		if tc, ok := sh.getRow(r); ok {
 			if tc > startTS {
 				return true, false
 			}

@@ -61,6 +61,18 @@ type Stats struct {
 	Decides             int64
 	DecideWaitAvg       float64
 	CrossPartitionRatio float64
+	// Allocation-discipline counters. TableLoadFactor is the live-key /
+	// slot ratio of the open-addressed lastCommit shards (0 under
+	// TableMap) and Rehashes the number of incremental growth passes they
+	// have run; together they say whether the conflict-check scan lengths
+	// are healthy. PooledFrameHits/Misses count the netsrv frame-buffer
+	// pool's recycled vs freshly allocated buffers (filled in by the
+	// network server when stats travel over the wire; zero in-process) —
+	// at steady state the miss count stops moving.
+	TableLoadFactor   float64
+	Rehashes          int64
+	PooledFrameHits   int64
+	PooledFrameMisses int64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in

@@ -381,6 +381,17 @@ func countReadOnly(reqs []oracle.CommitRequest) int {
 	return n
 }
 
+// Pools recycling the coordinator's per-round frame containers. Only the
+// container slices cycle: every backend — the in-process oracle and the
+// wire client alike — is done with the container when its call returns
+// (what a prepare retains are the per-slice row sets, which are fresh
+// sliceRows copies, never pooled).
+var (
+	commitSubPool = sync.Pool{New: func() interface{} { s := make([]oracle.CommitRequest, 0, 64); return &s }}
+	prepSubPool   = sync.Pool{New: func() interface{} { s := make([]oracle.PrepareRequest, 0, 64); return &s }}
+	decideSubPool = sync.Pool{New: func() interface{} { s := make([]oracle.Decision, 0, 64); return &s }}
+)
+
 // commitSingles routes one partition's group of single-partition requests
 // down its fast path.
 func (co *Coordinator) commitSingles(p int, reqs []oracle.CommitRequest, idxs []int, results []oracle.CommitResult) error {
@@ -388,11 +399,14 @@ func (co *Coordinator) commitSingles(p int, reqs []oracle.CommitRequest, idxs []
 		// The partition shares the coordinator's timestamp oracle: its own
 		// CommitBatch allocates and publishes commit timestamps atomically,
 		// so no begin barrier is needed.
-		sub := make([]oracle.CommitRequest, len(idxs))
-		for k, i := range idxs {
-			sub[k] = reqs[i]
+		sp := commitSubPool.Get().(*[]oracle.CommitRequest)
+		sub := (*sp)[:0]
+		for _, i := range idxs {
+			sub = append(sub, reqs[i])
 		}
 		res, err := co.parts[p].CommitBatch(sub)
+		*sp = sub[:0]
+		commitSubPool.Put(sp)
 		if err != nil {
 			return err
 		}
@@ -406,9 +420,10 @@ func (co *Coordinator) commitSingles(p int, reqs []oracle.CommitRequest, idxs []
 		return err
 	}
 	defer co.releaseCommitTSs(lo, len(idxs))
-	sub := make([]oracle.PrepareRequest, len(idxs))
+	sp := prepSubPool.Get().(*[]oracle.PrepareRequest)
+	sub := (*sp)[:0]
 	for k, i := range idxs {
-		sub[k] = oracle.PrepareRequest{
+		pr := oracle.PrepareRequest{
 			StartTS:  reqs[i].StartTS,
 			CommitTS: lo + uint64(k),
 			WriteSet: reqs[i].WriteSet,
@@ -419,10 +434,13 @@ func (co *Coordinator) commitSingles(p int, reqs []oracle.CommitRequest, idxs []
 			// plays no part in the conflict check and may span foreign
 			// partitions — shipping it would trip the server's ownership
 			// guard.
-			sub[k].ReadSet = reqs[i].ReadSet
+			pr.ReadSet = reqs[i].ReadSet
 		}
+		sub = append(sub, pr)
 	}
 	res, err := co.parts[p].CommitAtBatch(sub)
+	*sp = sub[:0]
+	prepSubPool.Put(sp)
 	if err != nil {
 		return err
 	}
@@ -507,11 +525,15 @@ func (co *Coordinator) decideRound(r crossRound, decisions []oracle.Decision) er
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			ds := make([]oracle.Decision, 0, len(r.slots[p]))
+			dp := decideSubPool.Get().(*[]oracle.Decision)
+			ds := (*dp)[:0]
 			for _, k := range r.slots[p] {
 				ds = append(ds, decisions[k])
 			}
-			if err := co.parts[p].DecideBatch(ds); err != nil {
+			err := co.parts[p].DecideBatch(ds)
+			*dp = ds[:0]
+			decideSubPool.Put(dp)
+			if err != nil {
 				dmu.Lock()
 				decideErr = err
 				dmu.Unlock()

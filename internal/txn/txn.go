@@ -2,6 +2,7 @@ package txn
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/oracle"
 )
@@ -51,7 +52,20 @@ type Txn struct {
 	// readOnly marks a BeginAt time-travel transaction: writes are
 	// rejected and commit is local (no oracle interaction).
 	readOnly bool
+	// sets holds the pooled row-set buffers backing this transaction's
+	// commit request; finishCommit returns them once the arbiter has
+	// decided (no layer retains the hashed sets past the decision).
+	sets *commitSets
 }
+
+// commitSets is a pooled pair of row-set buffers for prepareCommit: commit
+// requests are built into recycled arrays instead of fresh allocations, so
+// a steady commit rate hashes its read/write sets with zero allocation.
+type commitSets struct {
+	w, r []oracle.RowID
+}
+
+var commitSetsPool = sync.Pool{New: func() interface{} { return new(commitSets) }}
 
 // StartTS returns the transaction's start timestamp (its snapshot).
 func (t *Txn) StartTS() uint64 { return t.startTS }
@@ -402,10 +416,11 @@ func (t *Txn) prepareCommit() oracle.CommitRequest {
 		}
 	}
 
+	t.sets = commitSetsPool.Get().(*commitSets)
 	req := oracle.CommitRequest{
 		StartTS:  t.startTS,
-		WriteSet: make([]oracle.RowID, 0, len(t.writes)),
-		ReadSet:  make([]oracle.RowID, 0, len(t.reads)+len(t.readBuckets)),
+		WriteSet: t.sets.w[:0],
+		ReadSet:  t.sets.r[:0],
 	}
 	bucketer := t.client.cfg.Bucketer
 	writeBuckets := make(map[string]struct{})
@@ -430,7 +445,21 @@ func (t *Txn) prepareCommit() oracle.CommitRequest {
 	for b := range t.readBuckets {
 		req.ReadSet = append(req.ReadSet, bucketRowID(b))
 	}
+	// Keep the (possibly grown) arrays on the pooled holder so the pool
+	// retains their capacity when finishCommit releases them.
+	t.sets.w, t.sets.r = req.WriteSet, req.ReadSet
 	return req
+}
+
+// releaseSets returns the transaction's pooled row-set buffers after the
+// arbiter's decision. Nothing downstream retains the hashed sets past the
+// decision: the oracle copies what it keeps, the wire client copies them
+// into its frame buffer, and the partition coordinator slices copies.
+func (t *Txn) releaseSets() {
+	if t.sets != nil {
+		commitSetsPool.Put(t.sets)
+		t.sets = nil
+	}
 }
 
 // finishCommit applies the oracle's decision to the transaction: cleanup and
@@ -439,6 +468,9 @@ func (t *Txn) prepareCommit() oracle.CommitRequest {
 // settled by querying the transaction's status — never by resubmitting.
 func (t *Txn) finishCommit(res oracle.CommitResult, err error) CommitOutcome {
 	t.client.active.remove(t.startTS)
+	// The arbiter has decided (or definitively failed); no layer holds the
+	// hashed row sets any longer.
+	t.releaseSets()
 	if err != nil {
 		return t.settleInDoubt(err)
 	}

@@ -113,7 +113,8 @@ type FileLedger struct {
 	end     int64
 	sync    bool
 	sealed  bool
-	reader  bool // opened read-only: never truncate, Refresh allowed
+	reader  bool   // opened read-only: never truncate, Refresh allowed
+	wbuf    []byte // header+payload staging so each append is one WriteAt
 }
 
 // sealMarker is the batch-length value that marks a sealed file: no real
@@ -254,11 +255,14 @@ func (l *FileLedger) AppendBatch(batch []byte) (int, error) {
 			return 0, ErrSealed
 		}
 	}
+	// Stage header + payload into the reusable write buffer so the record
+	// lands in one WriteAt (one syscall, and no window where a crash can
+	// leave a header whose payload write never started).
+	l.wbuf = l.wbuf[:0]
 	binary.BigEndian.PutUint64(hdr[:], uint64(len(batch)))
-	if _, err := l.f.WriteAt(hdr[:], l.end); err != nil {
-		return 0, err
-	}
-	if _, err := l.f.WriteAt(batch, l.end+8); err != nil {
+	l.wbuf = append(l.wbuf, hdr[:]...)
+	l.wbuf = append(l.wbuf, batch...)
+	if _, err := l.f.WriteAt(l.wbuf, l.end); err != nil {
 		return 0, err
 	}
 	if l.sync {

@@ -19,7 +19,10 @@ import (
 // Ledger is one replica of the log (a "bookie" in BookKeeper terms).
 // AppendBatch must be safe for concurrent use with ReadBatch.
 type Ledger interface {
-	// AppendBatch durably stores one batch and returns its index.
+	// AppendBatch durably stores one batch and returns its index. The
+	// batch slice is only valid for the duration of the call — the writer
+	// recycles batch buffers — so an implementation that retains bytes
+	// must copy them.
 	AppendBatch(batch []byte) (int, error)
 	// NumBatches returns the number of stored batches.
 	NumBatches() (int, error)
@@ -79,8 +82,9 @@ func DefaultConfig() Config {
 	return Config{BatchBytes: 1024, BatchDelay: 5 * time.Millisecond}
 }
 
-type pendingEntry struct {
-	data []byte
+// pendingWaiter is one Append/AppendAll call parked on a batch; its done
+// channel receives exactly one value when the batch's fate is known.
+type pendingWaiter struct {
 	done chan error
 }
 
@@ -88,18 +92,36 @@ type pendingEntry struct {
 // Append blocks until the entry is durable on a quorum of ledgers, so the
 // caller observes the same group-commit latency profile as the paper's
 // status oracle did with BookKeeper.
+//
+// Entries are framed (length + CRC) directly into the accumulating batch
+// buffer at enqueue time — the framing IS the copy, so there is no separate
+// per-entry allocation and no re-encode at flush time. Batch buffers and
+// waiter slices cycle through small free lists, so a steady append rate
+// runs the whole group-commit pipeline with zero allocation.
 type Writer struct {
 	cfg     Config
 	ledgers []Ledger
 
 	mu      sync.Mutex
-	pending []pendingEntry
-	bytes   int
+	buf     []byte // framed entries of the accumulating batch
+	waiters []pendingWaiter
 	timer   *time.Timer
 	closed  bool
 	fenced  bool // a flush observed ErrSealed; every later append fails fast
 
-	flushMu sync.Mutex // serializes flushes so batch order is the ledger order
+	// Free lists recycling flushed batch buffers and waiter slices.
+	freeBufs    [][]byte
+	freeWaiters [][]pendingWaiter
+
+	// flushMu serializes flushes; the ticket pair orders them. Each
+	// takeLocked draws nextTicket under w.mu (take order = cut order) and
+	// flush blocks until serveTicket reaches its ticket, so batches land
+	// in the ledgers in exactly the order they were cut even though
+	// size-triggered flushes run in freshly spawned goroutines.
+	flushMu     sync.Mutex
+	flushCond   *sync.Cond
+	nextTicket  uint64
+	serveTicket uint64
 }
 
 // Fenced reports whether the writer has observed a seal on any ledger and
@@ -124,7 +146,9 @@ func NewWriter(cfg Config, ledgers ...Ledger) (*Writer, error) {
 	if cfg.Quorum <= 0 || cfg.Quorum > len(ledgers) {
 		cfg.Quorum = len(ledgers)
 	}
-	return &Writer{cfg: cfg, ledgers: ledgers}, nil
+	w := &Writer{cfg: cfg, ledgers: ledgers}
+	w.flushCond = sync.NewCond(&w.flushMu)
+	return w, nil
 }
 
 // Append stores one entry and blocks until it is durable on a quorum of
@@ -137,13 +161,33 @@ func (w *Writer) Append(entry []byte) error {
 	return <-done
 }
 
-// AppendAsync enqueues one entry and returns a channel that reports its
-// durability. The channel receives exactly one value.
-func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
-	data := make([]byte, len(entry))
-	copy(data, entry)
-	done := make(chan error, 1)
+// appendFramedLocked frames one entry (length + CRC + payload) into the
+// accumulating batch buffer. Caller holds w.mu.
+func (w *Writer) appendFramedLocked(entry []byte) {
+	w.buf = appendEntryFrame(w.buf, entry)
+}
 
+// maybeFlushLocked cuts the batch if it reached BatchBytes, else arms the
+// delay timer. Caller holds w.mu, which is released either way.
+func (w *Writer) maybeFlushLocked() {
+	if len(w.buf) >= w.cfg.BatchBytes {
+		batch, waiters, ticket := w.takeLocked()
+		w.mu.Unlock()
+		go w.flush(batch, waiters, ticket)
+		return
+	}
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.cfg.BatchDelay, w.flushTimer)
+	}
+	w.mu.Unlock()
+}
+
+// AppendAsync enqueues one entry and returns a channel that reports its
+// durability. The channel receives exactly one value. The entry is framed
+// into the batch buffer before AppendAsync returns, so the caller may reuse
+// its buffer immediately.
+func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
+	done := make(chan error, 1)
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -153,18 +197,9 @@ func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
 		w.mu.Unlock()
 		return nil, ErrFenced
 	}
-	w.pending = append(w.pending, pendingEntry{data: data, done: done})
-	w.bytes += len(data) + frameOverhead
-	if w.bytes >= w.cfg.BatchBytes {
-		batch := w.takeLocked()
-		w.mu.Unlock()
-		go w.flush(batch)
-		return done, nil
-	}
-	if w.timer == nil {
-		w.timer = time.AfterFunc(w.cfg.BatchDelay, w.flushTimer)
-	}
-	w.mu.Unlock()
+	w.appendFramedLocked(entry)
+	w.waiters = append(w.waiters, pendingWaiter{done: done})
+	w.maybeFlushLocked()
 	return done, nil
 }
 
@@ -172,13 +207,14 @@ func (w *Writer) AppendAsync(entry []byte) (<-chan error, error) {
 // one batching decision for the whole group instead of one per entry — and
 // blocks until every entry is durable on a quorum of ledgers. The status
 // oracle's batched commit path uses it to persist a commit batch and its
-// accompanying abort records as one group commit.
+// accompanying abort records as one group commit. The entries are framed
+// in place into the batch buffer before the call blocks, so the caller's
+// buffers (typically pooled record scratch) are reusable on return.
 func (w *Writer) AppendAll(entries ...[]byte) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	done := make(chan error, len(entries))
-
+	done := make(chan error, 1)
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -189,70 +225,70 @@ func (w *Writer) AppendAll(entries ...[]byte) error {
 		return ErrFenced
 	}
 	for _, entry := range entries {
-		data := make([]byte, len(entry))
-		copy(data, entry)
-		w.pending = append(w.pending, pendingEntry{data: data, done: done})
-		w.bytes += len(data) + frameOverhead
+		w.appendFramedLocked(entry)
 	}
-	if w.bytes >= w.cfg.BatchBytes {
-		batch := w.takeLocked()
-		w.mu.Unlock()
-		go w.flush(batch)
-	} else {
-		if w.timer == nil {
-			w.timer = time.AfterFunc(w.cfg.BatchDelay, w.flushTimer)
-		}
-		w.mu.Unlock()
-	}
-
-	var first error
-	for range entries {
-		if err := <-done; err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	w.waiters = append(w.waiters, pendingWaiter{done: done})
+	w.maybeFlushLocked()
+	return <-done
 }
 
 // flushTimer fires when BatchDelay elapses.
 func (w *Writer) flushTimer() {
 	w.mu.Lock()
-	batch := w.takeLocked()
+	batch, waiters, ticket := w.takeLocked()
 	w.mu.Unlock()
-	if len(batch) > 0 {
-		w.flush(batch)
-	}
+	w.flush(batch, waiters, ticket)
 }
 
-// takeLocked removes and returns the pending entries. Caller holds w.mu.
-func (w *Writer) takeLocked() []pendingEntry {
-	batch := w.pending
-	w.pending = nil
-	w.bytes = 0
+// takeLocked removes and returns the accumulated batch and its flush
+// ticket, installing recycled buffers for the next one. Caller holds w.mu.
+// Every take MUST be followed by a flush call, even when empty — the
+// ticket must be consumed for later flushes to proceed.
+func (w *Writer) takeLocked() ([]byte, []pendingWaiter, uint64) {
+	batch, waiters := w.buf, w.waiters
+	w.buf, w.waiters = nil, nil
+	if n := len(w.freeBufs); n > 0 {
+		w.buf = w.freeBufs[n-1]
+		w.freeBufs = w.freeBufs[:n-1]
+	}
+	if n := len(w.freeWaiters); n > 0 {
+		w.waiters = w.freeWaiters[n-1]
+		w.freeWaiters = w.freeWaiters[:n-1]
+	}
 	if w.timer != nil {
 		w.timer.Stop()
 		w.timer = nil
 	}
-	return batch
+	ticket := w.nextTicket
+	w.nextTicket++
+	return batch, waiters, ticket
+}
+
+// recycle returns a flushed batch buffer and waiter slice to the free
+// lists. Oversized buffers and surplus list entries go to the GC.
+func (w *Writer) recycle(batch []byte, waiters []pendingWaiter) {
+	const maxRetained = 1 << 20
+	w.mu.Lock()
+	if len(w.freeBufs) < 4 && cap(batch) <= maxRetained {
+		w.freeBufs = append(w.freeBufs, batch[:0])
+	}
+	if len(w.freeWaiters) < 4 {
+		w.freeWaiters = append(w.freeWaiters, waiters[:0])
+	}
+	w.mu.Unlock()
 }
 
 const frameOverhead = 8 // 4-byte length + 4-byte CRC32 per entry
 
-// encodeBatch frames the entries into one batch payload.
-func encodeBatch(entries []pendingEntry) []byte {
-	size := 0
-	for _, e := range entries {
-		size += frameOverhead + len(e.data)
-	}
-	buf := make([]byte, 0, size)
-	for _, e := range entries {
-		var hdr [frameOverhead]byte
-		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(e.data)))
-		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(e.data))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, e.data...)
-	}
-	return buf
+// appendEntryFrame frames one entry as the batch payload stores it
+// (length, CRC32, payload) — the single definition of the frame layout,
+// shared by the live writer and the round-trip tests.
+func appendEntryFrame(buf, entry []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(entry)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(entry))
+	buf = append(buf, hdr[:]...)
+	return append(buf, entry...)
 }
 
 // DecodeBatch splits a batch payload back into entries, verifying CRCs.
@@ -278,19 +314,27 @@ func DecodeBatch(batch []byte) ([][]byte, error) {
 	return entries, nil
 }
 
-// flush replicates one batch to all ledgers and acknowledges the entries
-// once a quorum has accepted it.
-func (w *Writer) flush(entries []pendingEntry) {
+// flush replicates one pre-framed batch to all ledgers and acknowledges
+// the waiters once a quorum has accepted it. Flushes are admitted in
+// ticket (= cut) order, so a size-triggered flush goroutine scheduled
+// late can never let a later batch overtake it into the ledgers.
+func (w *Writer) flush(batch []byte, waiters []pendingWaiter, ticket uint64) {
 	// Taken even for an empty batch: Flush/Close must block until any
 	// in-flight flush has fully replicated before claiming the log is
-	// synced.
+	// synced, and the ticket must advance regardless.
 	w.flushMu.Lock()
-	defer w.flushMu.Unlock()
-	if len(entries) == 0 {
+	for w.serveTicket != ticket {
+		w.flushCond.Wait()
+	}
+	defer func() {
+		w.serveTicket++
+		w.flushCond.Broadcast()
+		w.flushMu.Unlock()
+	}()
+	if len(batch) == 0 && len(waiters) == 0 {
 		return
 	}
 
-	batch := encodeBatch(entries)
 	errs := make(chan error, len(w.ledgers))
 	for _, l := range w.ledgers {
 		go func(l Ledger) {
@@ -320,8 +364,8 @@ func (w *Writer) flush(entries []pendingEntry) {
 				result = fmt.Errorf("%w: %d/%d acks: %v", ErrQuorumFailed, acks, need, firstErr)
 			}
 		}
-		for _, e := range entries {
-			e.done <- result
+		for _, pw := range waiters {
+			pw.done <- result
 		}
 		acked = true
 	}
@@ -350,14 +394,17 @@ func (w *Writer) flush(entries []pendingEntry) {
 		w.fenced = true
 		w.mu.Unlock()
 	}
+	// Every replica has responded and every waiter is acknowledged: the
+	// batch buffer and waiter slice can serve the next batch.
+	w.recycle(batch, waiters)
 }
 
 // Flush forces out any buffered entries and waits for them.
 func (w *Writer) Flush() {
 	w.mu.Lock()
-	batch := w.takeLocked()
+	batch, waiters, ticket := w.takeLocked()
 	w.mu.Unlock()
-	w.flush(batch)
+	w.flush(batch, waiters, ticket)
 }
 
 // Close flushes buffered entries and marks the writer closed.
@@ -368,9 +415,9 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	batch := w.takeLocked()
+	batch, waiters, ticket := w.takeLocked()
 	w.mu.Unlock()
-	w.flush(batch)
+	w.flush(batch, waiters, ticket)
 	return nil
 }
 

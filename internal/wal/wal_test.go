@@ -165,8 +165,7 @@ func TestDecodeBatchDetectsCorruption(t *testing.T) {
 }
 
 func TestDecodeBatchTruncation(t *testing.T) {
-	entries := []pendingEntry{{data: []byte("hello")}}
-	batch := encodeBatch(entries)
+	batch := appendEntryFrame(nil, []byte("hello"))
 	for cut := 1; cut < len(batch); cut++ {
 		if _, err := DecodeBatch(batch[:cut]); err == nil {
 			t.Fatalf("truncation at %d not detected", cut)
@@ -176,11 +175,11 @@ func TestDecodeBatchTruncation(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	prop := func(payloads [][]byte) bool {
-		entries := make([]pendingEntry, len(payloads))
-		for i, p := range payloads {
-			entries[i] = pendingEntry{data: p}
+		var batch []byte
+		for _, p := range payloads {
+			batch = appendEntryFrame(batch, p)
 		}
-		got, err := DecodeBatch(encodeBatch(entries))
+		got, err := DecodeBatch(batch)
 		if err != nil {
 			return false
 		}

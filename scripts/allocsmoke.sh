@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Allocation-regression smoke: runs the commit/query hot-path benchmarks
+# with -benchmem and fails if any allocs/op exceeds the checked-in budget
+# (scripts/alloc_budget.txt). Used by CI; run locally before touching the
+# commit path.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run=NONE -bench 'BenchmarkCommitBatch|BenchmarkQueryBatch' -benchmem -benchtime 5000x .)
+echo "$out"
+echo "---"
+echo "$out" | awk '
+  BEGIN {
+    while ((getline line < "scripts/alloc_budget.txt") > 0) {
+      if (line ~ /^#/ || line == "") continue
+      split(line, f, " ")
+      budget[f[1]] = f[2]
+      seen[f[1]] = 0
+    }
+  }
+  $1 ~ /^Benchmark/ {
+    # The -GOMAXPROCS suffix is absent when GOMAXPROCS=1; try the raw name
+    # first so a trailing batch size is never mistaken for the suffix.
+    name = $1
+    if (!(name in budget)) sub(/-[0-9]+$/, "", name)
+    allocs = ""
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    if (!(name in budget)) next
+    seen[name] = 1
+    if (allocs + 0 > budget[name] + 0) {
+      printf "ALLOC REGRESSION: %s at %s allocs/op exceeds budget %s\n", name, allocs, budget[name]
+      bad = 1
+    } else {
+      printf "ok: %-45s %s allocs/op (budget %s)\n", name, allocs, budget[name]
+    }
+  }
+  END {
+    for (name in seen) if (!seen[name]) {
+      printf "MISSING BENCHMARK: %s is budgeted but did not run\n", name
+      bad = 1
+    }
+    exit bad
+  }
+'
