@@ -83,7 +83,8 @@ func main() {
 
 		partitions  = flag.Int("partitions", 1, "total status-oracle partitions in the deployment (this server is one of them)")
 		partitionID = flag.Int("partition-id", 0, "this server's partition index in [0, -partitions) (with -partitions > 1)")
-		routerSpec  = flag.String("router", "hash", "row router of the partitioned deployment: hash, range, or range:s1,s2,... (with -partitions > 1)")
+		routerSpec  = flag.String("router", "hash", "row router of the partitioned deployment: hash, range, range:s1,s2,..., or map:... (with -partitions > 1)")
+		loadSpan    = flag.Uint64("loadspan", 0, "row-id span of the per-slice load histogram the rebalancer reads (0 = full 64-bit space); set to the workload's row count")
 	)
 	flag.Parse()
 
@@ -102,7 +103,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oracle-server: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := oracle.Config{Engine: eng, Table: kind, MaxRows: *maxRows, Shards: *shards}
+	cfg := oracle.Config{Engine: eng, Table: kind, MaxRows: *maxRows, Shards: *shards, LoadSpan: *loadSpan}
 
 	if *pprof != "" {
 		// Live profiling of the serving process (allocation regressions on
@@ -118,8 +119,9 @@ func main() {
 	// Partitioned deployment: this server owns one key slice of a
 	// -partitions-wide status oracle. The router must match the one the
 	// PartitionedClient coordinators dial with; requests carrying rows the
-	// router did not assign here are rejected at the wire.
-	var ownsRow func(oracle.RowID) bool
+	// table did not assign here answer an epoch-aware redirect, and a live
+	// rebalance replaces the table through the set-routing op.
+	var role *partitionRole
 	if *partitions > 1 {
 		if *partitionID < 0 || *partitionID >= *partitions {
 			fmt.Fprintf(os.Stderr, "oracle-server: -partition-id %d outside [0, %d)\n", *partitionID, *partitions)
@@ -130,19 +132,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oracle-server: %v\n", err)
 			os.Exit(2)
 		}
-		id := *partitionID
-		ownsRow = func(r oracle.RowID) bool { return router.Partition(r) == id }
-		log.Printf("oracle-server: partition %d of %d (%s router)", id, *partitions, *routerSpec)
+		role = &partitionRole{router: router, id: *partitionID, n: *partitions}
+		log.Printf("oracle-server: partition %d of %d (%s router, epoch 1)", *partitionID, *partitions, *routerSpec)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *standby {
-		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ownsRow, sig)
+		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, role, sig)
 		return
 	}
-	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, ownsRow, sig)
+	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, role, sig)
+}
+
+// partitionRole carries the server's slice identity in a partitioned
+// deployment; apply installs the boot routing table at epoch 1, which a
+// live rebalance supersedes through the epoch-fenced set-routing op.
+type partitionRole struct {
+	router partition.Router
+	id, n  int
+}
+
+func (p *partitionRole) apply(srv *netsrv.Server) {
+	if p == nil {
+		return
+	}
+	srv.PartitionID = p.id
+	srv.Partitions = p.n
+	srv.SetRouting(partition.RoutingTable{Epoch: 1, Router: p.router})
 }
 
 // configureCoalescing applies the coalescer knobs to a server.
@@ -154,7 +172,7 @@ func configureCoalescing(srv *netsrv.Server, coalesce int, delay time.Duration) 
 	}
 }
 
-func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, ownsRow func(oracle.RowID) bool, sig chan os.Signal) {
+func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, role *partitionRole, sig chan os.Signal) {
 	var (
 		so     *oracle.StatusOracle
 		writer *wal.Writer
@@ -196,7 +214,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 
 	srv := netsrv.NewServer(so)
-	srv.OwnsRow = ownsRow
+	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -229,7 +247,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 }
 
-func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ownsRow func(oracle.RowID) bool, sig chan os.Signal) {
+func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, role *partitionRole, sig chan os.Signal) {
 	if follow == "" {
 		log.Fatalf("oracle-server: -standby requires -follow <primary wal>")
 	}
@@ -279,7 +297,7 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 		log.Printf("oracle-server: promoted to primary: %d records inherited, timestamp epoch resumes at %d", records, tsoBound)
 		return so, nil
 	})
-	srv.OwnsRow = ownsRow
+	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	boundAddr, err := srv.Listen(addr)
 	if err != nil {

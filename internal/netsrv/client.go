@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/oracle"
+	"repro/internal/partition"
 )
 
 // Client is a pipelined network client for the status oracle. It satisfies
@@ -307,6 +308,17 @@ func (c *Client) callResp(op byte, payload []byte) (response, error) {
 		putRespBuf(resp)
 		return response{}, err
 	}
+	if resp.code == codeRedirect {
+		// The server rejected the request under a newer routing table;
+		// surface it as a typed misroute so the coordinator refreshes its
+		// table and retries.
+		epoch, spec, perr := parseRoutingPayload(resp.payload)
+		putRespBuf(resp)
+		if perr != nil {
+			return response{}, perr
+		}
+		return response{}, &partition.MisrouteError{Epoch: epoch, Spec: spec}
+	}
 	return resp, nil
 }
 
@@ -517,6 +529,69 @@ func (c *Client) Stats() (oracle.Stats, error) {
 		return oracle.Stats{}, err
 	}
 	return decodeStats(payload)
+}
+
+// Routing fetches the server's epoch-fenced routing table.
+func (c *Client) Routing() (epoch uint64, spec string, err error) {
+	payload, err := c.call(opRouting, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	return parseRoutingPayload(payload)
+}
+
+// SetRouting pushes an epoch-fenced routing table to the partition server;
+// the server adopts it only when strictly newer than the one it holds.
+// Implements partition.RoutingUpdatable.
+func (c *Client) SetRouting(rt partition.RoutingTable) error {
+	pb := getPayloadBuf()
+	*pb = appendRoutingPayload((*pb)[:0], rt.Epoch, rt.Spec())
+	resp, err := c.callResp(opSetRouting, *pb)
+	putPayloadBuf(pb)
+	if err != nil {
+		return err
+	}
+	putRespBuf(resp)
+	return nil
+}
+
+// ExportRange snapshots the partition's conflict-check state for [lo, hi)
+// (hi == 0 means end of space). Implements partition.RangeMigratable.
+func (c *Client) ExportRange(lo, hi uint64) (*oracle.RangeState, error) {
+	pb := getPayloadBuf()
+	*pb = appendRangeReq((*pb)[:0], lo, hi)
+	resp, err := c.callResp(opExportRange, *pb)
+	putPayloadBuf(pb)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := oracle.DecodeRangeState(resp.payload)
+	putRespBuf(resp)
+	return rs, err
+}
+
+// ApplyRange merges an exported range into the partition server's state.
+func (c *Client) ApplyRange(rs *oracle.RangeState) error {
+	resp, err := c.callResp(opApplyRange, oracle.EncodeRangeState(rs))
+	if err != nil {
+		return err
+	}
+	putRespBuf(resp)
+	return nil
+}
+
+// DiscardRange drops the partition server's state for a range whose
+// ownership moved away.
+func (c *Client) DiscardRange(lo, hi uint64) error {
+	pb := getPayloadBuf()
+	*pb = appendRangeReq((*pb)[:0], lo, hi)
+	resp, err := c.callResp(opDiscardRange, *pb)
+	putPayloadBuf(pb)
+	if err != nil {
+		return err
+	}
+	putRespBuf(resp)
+	return nil
 }
 
 // Health reports the server's role: "primary" when it serves an oracle,

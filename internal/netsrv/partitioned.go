@@ -73,7 +73,36 @@ func DialPartitioned(engine oracle.Engine, router partition.Router, addrs ...str
 		}
 		return nil, err
 	}
-	return &PartitionedClient{Coordinator: co, clients: clients}, nil
+	pc := &PartitionedClient{Coordinator: co, clients: clients}
+	// Best effort: a fleet that has rebalanced since this client's static
+	// router spec was written hands out its current table here, instead of
+	// the client discovering it through a redirect on its first commit.
+	pc.RefreshRouting()
+	return pc, nil
+}
+
+// RefreshRouting polls every partition server for its routing table and
+// adopts the newest one offered (the epoch fence ignores older tables).
+// Servers without a table — non-elastic deployments — are skipped. Reports
+// whether any table was adopted. Misrouted commits refresh the table
+// automatically through the server's redirect; this is for late-joining
+// clients and orchestration.
+func (pc *PartitionedClient) RefreshRouting() bool {
+	adopted := false
+	for _, c := range pc.clients {
+		epoch, spec, err := c.Routing()
+		if err != nil {
+			continue
+		}
+		r, err := partition.ParseRouter(spec, len(pc.clients))
+		if err != nil {
+			continue
+		}
+		if pc.ApplyRouting(partition.RoutingTable{Epoch: epoch, Router: r}) {
+			adopted = true
+		}
+	}
+	return adopted
 }
 
 // Clients exposes the per-partition network clients (orchestration and

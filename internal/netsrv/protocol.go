@@ -50,6 +50,14 @@ const (
 	opDecideBatch   = 13
 	opCommitAtBatch = 14
 	opBeginBlock    = 15
+	// The elastic-repartitioning ops: fetch/install the epoch-fenced
+	// routing table, and the three range-migration primitives the
+	// coordinator drives during a live move.
+	opRouting      = 16
+	opSetRouting   = 17
+	opExportRange  = 18
+	opApplyRange   = 19
+	opDiscardRange = 20
 )
 
 // Role bytes carried by opHealth / opPromote responses.
@@ -63,6 +71,11 @@ const (
 	codeOK    = 0
 	codeErr   = 1
 	codeEvent = 2
+	// codeRedirect answers a misrouted request (rows the server does not
+	// own under its routing table) with the server's routing epoch and
+	// router spec, so the client refreshes its table and retries instead
+	// of failing. Payload: epoch(u64) spec(string).
+	codeRedirect = 3
 )
 
 // maxFrame bounds a frame body; a commit request with the §6.1 maximum of
@@ -445,8 +458,8 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 	return statuses, nil
 }
 
-// statsPayloadLen is the fixed size of an opStats response: 24 fields of 8
-// bytes (counters as u64, averages/ratios as IEEE-754 bits). Fields 11–14
+// statsPayloadLen is the fixed prefix of an opStats response: 24 fields of
+// 8 bytes (counters as u64, averages/ratios as IEEE-754 bits). Fields 11–14
 // are the availability counters: checkpoints written, last checkpoint
 // bound, records replayed by the last recovery, and its duration in
 // nanoseconds. Fields 15–19 are the partition counters: prepares checked,
@@ -454,6 +467,9 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 // fraction of write transactions that arrived through the two-phase path.
 // Fields 20–23 are the allocation-discipline counters: open-table load
 // factor, incremental rehashes, and the server's frame-pool hits/misses.
+// After the prefix an optional per-slice load histogram follows:
+// count(u32) + count×u64 — absent in legacy responses, which decodeStats
+// tolerates (SliceLoads stays nil).
 const statsPayloadLen = 24 * 8
 
 // appendStats renders the oracle counters in wire order.
@@ -474,15 +490,38 @@ func appendStats(b []byte, st oracle.Stats) []byte {
 	b = appendU64(b, uint64(st.Rehashes))
 	b = appendU64(b, uint64(st.PooledFrameHits))
 	b = appendU64(b, uint64(st.PooledFrameMisses))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(st.SliceLoads)))
+	b = append(b, n[:]...)
+	for _, v := range st.SliceLoads {
+		b = appendU64(b, uint64(v))
+	}
 	return b
 }
 
 func decodeStats(b []byte) (oracle.Stats, error) {
-	if len(b) != statsPayloadLen {
+	if len(b) < statsPayloadLen {
+		return oracle.Stats{}, ErrBadFrame
+	}
+	var loads []int64
+	switch tail := b[statsPayloadLen:]; {
+	case len(tail) == 0:
+		// Legacy fixed-size payload.
+	case len(tail) >= 4:
+		n := binary.BigEndian.Uint32(tail[:4])
+		if uint64(len(tail)) != 4+uint64(n)*8 {
+			return oracle.Stats{}, ErrBadFrame
+		}
+		loads = make([]int64, n)
+		for i := range loads {
+			loads[i] = int64(binary.BigEndian.Uint64(tail[4+i*8:]))
+		}
+	default:
 		return oracle.Stats{}, ErrBadFrame
 	}
 	v := func(i int) int64 { return int64(binary.BigEndian.Uint64(b[i*8:])) }
 	return oracle.Stats{
+		SliceLoads:          loads,
 		Begins:              v(0),
 		Commits:             v(1),
 		ReadOnlyCommits:     v(2),
@@ -761,6 +800,35 @@ func splitRequest(body []byte) (reqID uint64, op byte, payload []byte, err error
 		return 0, 0, nil, ErrBadFrame
 	}
 	return binary.BigEndian.Uint64(body[:8]), body[8], body[9:], nil
+}
+
+// appendRoutingPayload renders a routing table: epoch(u64) followed by the
+// router spec as the rest of the payload. Shared by the opRouting response,
+// the opSetRouting request, and the codeRedirect payload.
+func appendRoutingPayload(b []byte, epoch uint64, spec string) []byte {
+	b = appendU64(b, epoch)
+	return append(b, spec...)
+}
+
+func parseRoutingPayload(b []byte) (epoch uint64, spec string, err error) {
+	if len(b) < 8 {
+		return 0, "", ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(b[:8]), string(b[8:]), nil
+}
+
+// appendRangeReq renders a [lo, hi) operand (hi == 0 meaning end of the
+// row-id space) for opExportRange / opDiscardRange.
+func appendRangeReq(b []byte, lo, hi uint64) []byte {
+	b = appendU64(b, lo)
+	return appendU64(b, hi)
+}
+
+func parseRangeReq(b []byte) (lo, hi uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(b[:8]), binary.BigEndian.Uint64(b[8:]), nil
 }
 
 // remoteError wraps an error string sent by the server.

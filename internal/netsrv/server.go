@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/oracle"
+	"repro/internal/partition"
 )
 
 // Server serves a status oracle over TCP. Requests on one connection are
@@ -46,6 +47,17 @@ type Server struct {
 	// corrupt frame). Set before Listen.
 	OwnsRow func(oracle.RowID) bool
 
+	// PartitionID / Partitions identify this server's slice of an elastic
+	// partitioned deployment; with a routing table installed (SetRouting),
+	// ownership is checked against the table instead of OwnsRow, and a
+	// misrouted request answers codeRedirect carrying the table's epoch
+	// and spec so the client self-heals. Set both before Listen.
+	PartitionID int
+	Partitions  int
+
+	routingMu sync.Mutex
+	routing   partition.RoutingTable
+
 	// CoalesceMaxBatch, when > 0, enables the server-side coalescers:
 	// concurrent single-commit frames are accumulated into oracle commit
 	// batches of up to this size, and concurrent single-query frames into
@@ -70,8 +82,8 @@ type Server struct {
 // has been handed to the connection writer, so a steady request rate is
 // served with zero per-request allocation.
 type handlerCtx struct {
-	body    []byte                 // raw frame (request body)
-	resp    []byte                 // response build buffer
+	body    []byte                  // raw frame (request body)
+	resp    []byte                  // response build buffer
 	reqs    []oracle.CommitRequest  // commit-batch decode scratch
 	single  oracle.CommitRequest    // single-commit decode scratch
 	tss     []uint64                // query-batch decode scratch
@@ -421,7 +433,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 			return respError(reqID, err)
 		}
 		if err := s.checkOwnership(reqs); err != nil {
-			return respError(reqID, err)
+			return respOwnership(reqID, err)
 		}
 		votes, err := so.PrepareBatch(reqs)
 		if err != nil {
@@ -446,7 +458,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 		}
 		ctx.preps = reqs
 		if err := s.checkOwnership(reqs); err != nil {
-			return respError(reqID, err)
+			return respOwnership(reqID, err)
 		}
 		results, err := so.CommitAtBatch(reqs)
 		if err != nil {
@@ -478,6 +490,56 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 		st.PooledFrameHits = s.poolHits.Load()
 		st.PooledFrameMisses = s.poolMisses.Load()
 		return appendStats(ok, st)
+	case opRouting:
+		rt := s.Routing()
+		if rt.Router == nil {
+			return respError(reqID, errors.New("netsrv: no routing table installed"))
+		}
+		return appendRoutingPayload(ok, rt.Epoch, rt.Spec())
+	case opSetRouting:
+		epoch, spec, err := parseRoutingPayload(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if s.Partitions <= 0 {
+			return respError(reqID, errors.New("netsrv: server not configured for routed partitioning"))
+		}
+		r, err := partition.ParseRouter(spec, s.Partitions)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if !s.SetRouting(partition.RoutingTable{Epoch: epoch, Router: r}) {
+			return respError(reqID, errors.New("netsrv: routing table epoch not newer than installed"))
+		}
+		return ok
+	case opExportRange:
+		lo, hi, err := parseRangeReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		rs, err := so.ExportRange(lo, hi)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		return append(ok, oracle.EncodeRangeState(rs)...)
+	case opApplyRange:
+		rs, err := oracle.DecodeRangeState(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := so.ApplyRange(rs); err != nil {
+			return respError(reqID, err)
+		}
+		return ok
+	case opDiscardRange:
+		lo, hi, err := parseRangeReq(payload)
+		if err != nil {
+			return respError(reqID, err)
+		}
+		if err := so.DiscardRange(lo, hi); err != nil {
+			return respError(reqID, err)
+		}
+		return ok
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}
@@ -486,9 +548,51 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 // ErrMisrouted reports rows sent to a partition that does not own them.
 var ErrMisrouted = errors.New("netsrv: request carries rows this partition does not own")
 
-// checkOwnership rejects prepare/one-shot slices carrying rows the router
-// did not assign to this partition.
+// SetRouting installs an epoch-fenced routing table (adopted only when
+// strictly newer than the held one) and reports whether it was adopted.
+// With a table installed, ownership checks consult it instead of OwnsRow
+// and misroutes answer codeRedirect.
+func (s *Server) SetRouting(rt partition.RoutingTable) bool {
+	if rt.Router == nil {
+		return false
+	}
+	s.routingMu.Lock()
+	defer s.routingMu.Unlock()
+	if rt.Epoch <= s.routing.Epoch {
+		return false
+	}
+	s.routing = rt
+	return true
+}
+
+// Routing returns the installed routing table (zero-valued when none).
+func (s *Server) Routing() partition.RoutingTable {
+	s.routingMu.Lock()
+	defer s.routingMu.Unlock()
+	return s.routing
+}
+
+// checkOwnership rejects prepare/one-shot slices carrying rows this
+// partition does not own — atomically, before the oracle touches any state,
+// which is what makes a whole-group retry after a redirect safe. Under a
+// routing table the rejection is a *partition.MisrouteError (rendered as
+// codeRedirect); under legacy OwnsRow it is ErrMisrouted.
 func (s *Server) checkOwnership(reqs []oracle.PrepareRequest) error {
+	if rt := s.Routing(); rt.Router != nil {
+		for i := range reqs {
+			for _, r := range reqs[i].WriteSet {
+				if rt.Router.Partition(r) != s.PartitionID {
+					return &partition.MisrouteError{Epoch: rt.Epoch, Spec: rt.Spec()}
+				}
+			}
+			for _, r := range reqs[i].ReadSet {
+				if rt.Router.Partition(r) != s.PartitionID {
+					return &partition.MisrouteError{Epoch: rt.Epoch, Spec: rt.Spec()}
+				}
+			}
+		}
+		return nil
+	}
 	if s.OwnsRow == nil {
 		return nil
 	}
@@ -505,6 +609,16 @@ func (s *Server) checkOwnership(reqs []oracle.PrepareRequest) error {
 		}
 	}
 	return nil
+}
+
+// respOwnership renders an ownership failure: redirects carry the routing
+// table for client self-healing, legacy misroutes stay plain errors.
+func respOwnership(reqID uint64, err error) []byte {
+	if mr := partition.AsMisroute(err); mr != nil {
+		body := appendRespHdr(make([]byte, 0, 9+8+len(mr.Spec)), reqID, codeRedirect)
+		return appendRoutingPayload(body, mr.Epoch, mr.Spec)
+	}
+	return respError(reqID, err)
 }
 
 // handlePromote runs the standby's promotion callback (fencing the old

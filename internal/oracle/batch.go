@@ -112,6 +112,9 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 		}
 		return results, nil
 	}
+	for _, i := range writeIdx {
+		s.loads.note(reqs[i].WriteSet)
+	}
 
 	// Hold the checkpoint gate (shared) from the first state publication
 	// to the end of the WAL append: a checkpoint can then never capture a

@@ -1,0 +1,76 @@
+package oracle
+
+import "sync/atomic"
+
+// LoadBuckets is the number of fixed-width key-range buckets the per-slice
+// load histogram divides the row-id space into. 64 buckets keep the
+// histogram one cache line of counters per oracle while giving the elastic
+// rebalancer enough resolution to carve a hot range off a partition.
+const LoadBuckets = 64
+
+// loadHistogram counts write-row traffic per key-range bucket. The counters
+// are atomics so the commit and prepare hot paths pay one uncontended
+// atomic add per write row and never a lock.
+type loadHistogram struct {
+	span    uint64 // Config.LoadSpan; 0 buckets the full 2^64 space
+	buckets [LoadBuckets]atomic.Int64
+}
+
+// bucketOf maps a row to its load bucket. With span == 0 the full 64-bit
+// row-id space is divided evenly (bucket = top 6 bits); otherwise
+// [0, span) is divided into LoadBuckets fixed-width slices and rows at or
+// above span clamp into the last bucket.
+func (h *loadHistogram) bucketOf(r RowID) int {
+	if h.span == 0 {
+		return int(uint64(r) >> 58)
+	}
+	width := (h.span + LoadBuckets - 1) / LoadBuckets
+	b := uint64(r) / width
+	if b >= LoadBuckets {
+		b = LoadBuckets - 1
+	}
+	return int(b)
+}
+
+// note counts one write-set's rows. Called from the commit and prepare
+// paths for every submitted write row, committed or aborted — the
+// rebalancer wants offered load, not admitted load.
+func (h *loadHistogram) note(rows []RowID) {
+	for _, r := range rows {
+		h.buckets[h.bucketOf(r)].Add(1)
+	}
+}
+
+// snapshot copies the counters out.
+func (h *loadHistogram) snapshot() []int64 {
+	out := make([]int64, LoadBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LoadBucketRange returns the key range [lo, hi) a load bucket covers under
+// the given span (matching Config.LoadSpan). hi == 0 means the end of the
+// row-id space: the last bucket always extends to 2^64 so every row falls
+// in some bucket. The elastic rebalancer feeds these bounds to the range
+// migration protocol.
+func LoadBucketRange(span uint64, bucket int) (lo, hi uint64) {
+	if bucket < 0 {
+		bucket = 0
+	}
+	if bucket >= LoadBuckets {
+		bucket = LoadBuckets - 1
+	}
+	if span == 0 {
+		lo = uint64(bucket) << 58
+		hi = uint64(bucket+1) << 58 // wraps to 0 (end of space) for the last bucket
+		return lo, hi
+	}
+	width := (span + LoadBuckets - 1) / LoadBuckets
+	lo = uint64(bucket) * width
+	if bucket == LoadBuckets-1 {
+		return lo, 0
+	}
+	return lo, lo + width
+}

@@ -242,6 +242,9 @@ func (s *StatusOracle) PrepareBatch(reqs []PrepareRequest) ([]bool, error) {
 	s.ckptMu.RLock()
 	defer s.ckptMu.RUnlock()
 
+	for i := range reqs {
+		s.loads.note(reqs[i].WriteSet)
+	}
 	locks := s.prepLockSet(func(i int) ([]RowID, []RowID) {
 		checkRows := reqs[i].WriteSet
 		if s.cfg.Engine == WSI {
@@ -421,6 +424,9 @@ func (s *StatusOracle) CommitAtBatch(reqs []PrepareRequest) ([]CommitResult, err
 	s.ckptMu.RLock()
 	defer s.ckptMu.RUnlock()
 
+	for i := range reqs {
+		s.loads.note(reqs[i].WriteSet)
+	}
 	locks := s.prepLockSet(func(i int) ([]RowID, []RowID) {
 		checkRows := reqs[i].WriteSet
 		if s.cfg.Engine == WSI {

@@ -1,0 +1,281 @@
+package oracle
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// seedRows commits one write per row id at distinct timestamps and returns
+// the commit timestamp of each.
+func seedRows(t *testing.T, so *StatusOracle, ids ...uint64) map[uint64]uint64 {
+	t.Helper()
+	out := make(map[uint64]uint64, len(ids))
+	for _, id := range ids {
+		ts := mustBegin(t, so)
+		res := mustCommit(t, so, CommitRequest{StartTS: ts, WriteSet: []RowID{RowID(id)}})
+		if !res.Committed {
+			t.Fatalf("seed row %d aborted", id)
+		}
+		out[id] = res.CommitTS
+	}
+	return out
+}
+
+func TestExportRangeScopesRows(t *testing.T) {
+	so := newOracle(t, Config{Engine: SI})
+	commits := seedRows(t, so, 10, 20, 999, 1000, 1500, 5000)
+
+	rs, err := so.ExportRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Lo != 0 || rs.Hi != 1000 {
+		t.Fatalf("exported bounds [%d,%d)", rs.Lo, rs.Hi)
+	}
+	want := []uint64{10, 20, 999}
+	if len(rs.Rows) != len(want) {
+		t.Fatalf("exported %d rows, want %d (%v)", len(rs.Rows), len(want), rs.Rows)
+	}
+	if !sort.SliceIsSorted(rs.Rows, func(i, j int) bool { return rs.Rows[i].Row < rs.Rows[j].Row }) {
+		t.Fatal("exported rows not sorted")
+	}
+	for i, id := range want {
+		if uint64(rs.Rows[i].Row) != id || rs.Rows[i].TS != commits[id] {
+			t.Fatalf("row %d = %+v, want id %d ts %d", i, rs.Rows[i], id, commits[id])
+		}
+	}
+
+	// hi == 0 exports to the end of the row-id space.
+	all, err := so.ExportRange(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != 3 { // 1000, 1500, 5000
+		t.Fatalf("open-ended export found %d rows", len(all.Rows))
+	}
+}
+
+// TestMoveRangePreservesConflicts is the migration safety property: a
+// transaction whose snapshot predates a committed write of the moved range
+// must abort on the target exactly as it would have on the donor.
+func TestMoveRangePreservesConflicts(t *testing.T) {
+	// Donor and target share one TSO, as partitions of one deployment do.
+	clock := tso.New(0, nil)
+	donor := newOracle(t, Config{Engine: SI, TSO: clock})
+	target := newOracle(t, Config{Engine: SI, TSO: clock})
+
+	stale := mustBegin(t, donor) // snapshot taken before the write
+	commits := seedRows(t, donor, 42)
+
+	rs, err := donor.ExportRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.ApplyRange(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.DiscardRange(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale transaction now routes to the target: still a conflict.
+	res := mustCommit(t, target, CommitRequest{StartTS: stale, WriteSet: []RowID{RowID(42)}})
+	if res.Committed {
+		t.Fatal("stale write of a migrated row committed on the target")
+	}
+	// A fresh transaction commits.
+	fresh := mustBegin(t, target)
+	if fresh <= commits[42] {
+		t.Fatalf("fresh snapshot %d not above migrated commit %d", fresh, commits[42])
+	}
+	res = mustCommit(t, target, CommitRequest{StartTS: fresh, WriteSet: []RowID{RowID(42)}})
+	if !res.Committed {
+		t.Fatal("fresh write of a migrated row aborted on the target")
+	}
+
+	// The donor dropped the range's rows.
+	after, err := donor.ExportRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 0 {
+		t.Fatalf("donor retains %d rows after discard", len(after.Rows))
+	}
+}
+
+// TestApplyRangeRowsBeforeTmax pins the apply ordering: rows fold in before
+// Tmax rises, so a migrated row at or below the incoming Tmax survives as a
+// precise timestamp rather than collapsing into the pessimistic bound.
+func TestApplyRangeRowsBeforeTmax(t *testing.T) {
+	so := newOracle(t, Config{Engine: SI})
+	if err := so.ApplyRange(&RangeState{
+		Lo: 0, Hi: 0, Tmax: 500,
+		Rows: []RangeRow{{Row: 42, TS: 400}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Row 42 retained at 400: a snapshot at 450 sees it and commits. Had
+	// Tmax been raised first, updateMax would have dropped the row and the
+	// tmax fallback (500 > 450) would spuriously abort.
+	res := mustCommit(t, so, CommitRequest{StartTS: 450, WriteSet: []RowID{RowID(42)}})
+	if !res.Committed {
+		t.Fatal("migrated row collapsed into tmax: apply order is broken")
+	}
+	// An absent row still answers with the adopted pessimism bound.
+	res = mustCommit(t, so, CommitRequest{StartTS: 450, WriteSet: []RowID{RowID(43)}})
+	if res.Committed {
+		t.Fatal("absent row ignored the adopted tmax")
+	}
+}
+
+func TestExportDiscardRefusePreparedRows(t *testing.T) {
+	so := newOracle(t, Config{Engine: SI})
+	start := mustBegin(t, so)
+	commitTS := mustBegin(t, so)
+	ok, err := so.PrepareBatch([]PrepareRequest{{StartTS: start, CommitTS: commitTS, WriteSet: []RowID{RowID(7)}}})
+	if err != nil || !ok[0] {
+		t.Fatalf("prepare: ok=%v err=%v", ok, err)
+	}
+
+	if _, err := so.ExportRange(0, 1000); err != ErrRangePrepared {
+		t.Fatalf("export over prepared row: %v, want ErrRangePrepared", err)
+	}
+	if err := so.DiscardRange(0, 1000); err != ErrRangePrepared {
+		t.Fatalf("discard over prepared row: %v, want ErrRangePrepared", err)
+	}
+	// A disjoint range is unaffected.
+	if _, err := so.ExportRange(1000, 2000); err != nil {
+		t.Fatalf("export of disjoint range: %v", err)
+	}
+
+	if err := so.DecideBatch([]Decision{{StartTS: start, CommitTS: commitTS, Commit: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := so.ExportRange(0, 1000); err != nil {
+		t.Fatalf("export after decide: %v", err)
+	}
+}
+
+// TestRangeRecordsReplay proves the WAL records of a migration rebuild the
+// same conflict state on recovery, on both sides of the move.
+func TestRangeRecordsReplay(t *testing.T) {
+	donor, donorLedger, donorWAL := durableOracle(t, SI, 0)
+	target, targetLedger, targetWAL := durableOracle(t, SI, 0)
+
+	stale := mustBegin(t, donor)
+	seedRows(t, donor, 11, 12, 2000)
+
+	rs, err := donor.ExportRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.ApplyRange(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.DiscardRange(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	donorWAL.Flush()
+	targetWAL.Flush()
+
+	clock2, err := tso.Recover(100, targetLedger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target2, err := Recover(Config{Engine: SI, TSO: clock2}, targetLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustCommit(t, target2, CommitRequest{StartTS: stale, WriteSet: []RowID{RowID(11)}})
+	if res.Committed {
+		t.Fatal("recovered target lost the migrated conflict state")
+	}
+
+	clock3, err := tso.Recover(100, donorLedger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor2, err := Recover(Config{Engine: SI, TSO: clock3}, donorLedger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := donor2.ExportRange(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != 0 {
+		t.Fatalf("recovered donor retains %d discarded rows", len(after.Rows))
+	}
+	// Out-of-range state survived the discard replay.
+	rest, err := donor2.ExportRange(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Rows) != 1 || uint64(rest.Rows[0].Row) != 2000 {
+		t.Fatalf("recovered donor out-of-range rows = %+v", rest.Rows)
+	}
+}
+
+func TestRangeStateCodec(t *testing.T) {
+	for _, rs := range []*RangeState{
+		{Lo: 0, Hi: 0, Tmax: 0},
+		{Lo: 125000, Hi: 250000, Tmax: 77, Rows: []RangeRow{{Row: 125001, TS: 9}, {Row: 249999, TS: 88}}},
+		{Lo: 1 << 60, Hi: 0, Tmax: 1},
+	} {
+		got, err := DecodeRangeState(EncodeRangeState(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lo != rs.Lo || got.Hi != rs.Hi || got.Tmax != rs.Tmax || len(got.Rows) != len(rs.Rows) {
+			t.Fatalf("round trip %+v -> %+v", rs, got)
+		}
+		for i := range rs.Rows {
+			if got.Rows[i] != rs.Rows[i] {
+				t.Fatalf("row %d: %+v != %+v", i, got.Rows[i], rs.Rows[i])
+			}
+		}
+	}
+	if _, err := DecodeRangeState(nil); err == nil {
+		t.Fatal("decoded empty payload")
+	}
+	if _, err := DecodeRangeState([]byte{recRangeApply, 1, 2}); err == nil {
+		t.Fatal("decoded truncated payload")
+	}
+}
+
+// TestLoadBucketRangeTilesSpace checks that the histogram's bucketing and
+// LoadBucketRange agree: every bucket's [lo, hi) maps back to that bucket at
+// both ends, and consecutive buckets tile the space without gaps.
+func TestLoadBucketRangeTilesSpace(t *testing.T) {
+	for _, span := range []uint64{0, 8_000_000, 1000, 64, 63, 1<<63 + 12345} {
+		h := &loadHistogram{span: span}
+		var prevHi uint64
+		for b := 0; b < LoadBuckets; b++ {
+			lo, hi := LoadBucketRange(span, b)
+			if b == 0 && lo != 0 {
+				t.Fatalf("span %d: bucket 0 starts at %d", span, lo)
+			}
+			if b > 0 && lo != prevHi {
+				t.Fatalf("span %d: bucket %d starts at %d, previous ended at %d", span, b, lo, prevHi)
+			}
+			if b == LoadBuckets-1 && hi != 0 {
+				t.Fatalf("span %d: last bucket ends at %d, want open end", span, hi)
+			}
+			if got := h.bucketOf(RowID(lo)); got != b {
+				t.Fatalf("span %d: bucketOf(lo=%d) = %d, want %d", span, lo, got, b)
+			}
+			last := hi - 1
+			if hi == 0 {
+				last = ^uint64(0)
+			}
+			if last >= lo {
+				if got := h.bucketOf(RowID(last)); got != b {
+					t.Fatalf("span %d: bucketOf(hi-1=%d) = %d, want %d", span, last, got, b)
+				}
+			}
+			prevHi = hi
+		}
+	}
+}

@@ -321,6 +321,20 @@ func (s *StatusOracle) ApplyLogEntry(entry []byte) (applied bool, err error) {
 		if err := s.applyCheckpoint(cp); err != nil {
 			return false, err
 		}
+	case recRangeApply:
+		rs, err := decodeRangeApplyRecord(entry)
+		if err != nil {
+			return false, err
+		}
+		s.applyRangeState(rs)
+	case recRangeDiscard:
+		lo, hi, err := decodeRangeDiscardRecord(entry)
+		if err != nil {
+			return false, err
+		}
+		if err := s.discardRangeState(lo, hi, false); err != nil {
+			return false, err
+		}
 	default:
 		return false, nil
 	}

@@ -73,6 +73,13 @@ type Stats struct {
 	Rehashes          int64
 	PooledFrameHits   int64
 	PooledFrameMisses int64
+	// SliceLoads is the per-key-range write-load histogram (LoadBuckets
+	// cumulative counters over Config.LoadSpan): every submitted write row
+	// of the commit, one-shot and prepare paths increments its range's
+	// bucket. The elastic rebalancer differences successive snapshots to
+	// find hot ranges. Nil when the oracle was never asked (wire decode of
+	// a legacy stats payload).
+	SliceLoads []int64
 }
 
 // AbortRate returns aborts / (commits + aborts), the quantity plotted in

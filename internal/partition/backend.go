@@ -46,6 +46,30 @@ type StatusResolving interface {
 	ResolveStatus(startTS uint64) (oracle.TxnStatus, error)
 }
 
+// RangeMigratable is implemented by backends that can ship commit-table
+// state for a contiguous key range — the live-repartitioning primitives.
+// Local satisfies it through the embedded *oracle.StatusOracle; the netsrv
+// client forwards the calls over the wire.
+type RangeMigratable interface {
+	// ExportRange snapshots the partition's conflict-check state for
+	// [lo, hi) (hi == 0 means end of space); it refuses while prepared
+	// rows sit in the range.
+	ExportRange(lo, hi uint64) (*oracle.RangeState, error)
+	// ApplyRange merges an exported range into this partition, never
+	// lowering retained timestamps, and logs it to the partition's WAL.
+	ApplyRange(rs *oracle.RangeState) error
+	// DiscardRange drops the partition's state for a range whose ownership
+	// moved away, logging the drop to the WAL.
+	DiscardRange(lo, hi uint64) error
+}
+
+// RoutingUpdatable is implemented by backends that hold their own routing
+// table (partition servers enforcing ownership); the coordinator pushes
+// each new epoch-fenced table after a live move.
+type RoutingUpdatable interface {
+	SetRouting(rt RoutingTable) error
+}
+
 // Local adapts an in-process status oracle to the Backend interface.
 type Local struct {
 	*oracle.StatusOracle

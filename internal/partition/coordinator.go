@@ -57,6 +57,10 @@ type Stats struct {
 	CrossTxns    int64
 	CrossCommits int64
 	CrossAborts  int64
+	// RoutingEpoch is the current routing-table epoch; Moves counts the
+	// live range migrations the coordinator has completed.
+	RoutingEpoch uint64
+	Moves        int64
 	// Partitions holds each partition's own Stats (prepares, decide
 	// latency, cross-partition ratio, ...), indexed as the router numbers
 	// them. Partitions that failed to answer hold zero values.
@@ -77,11 +81,22 @@ func (s Stats) CrossRatio() float64 {
 // subscribing and status-resolving extensions), so the transaction layer
 // runs unchanged on top of a partitioned oracle.
 type Coordinator struct {
-	cfg    Config
-	router Router
-	parts  []Backend
-	clock  Clock
-	dlog   *DecisionLog
+	cfg   Config
+	parts []Backend
+	clock Clock
+	dlog  *DecisionLog
+
+	// routeMu fences routing against live repartitioning: every commit
+	// fan-out holds it shared for the whole round (cover computation
+	// through the last backend call), MoveRange holds it exclusively while
+	// it ships range state and flips the router. A flip therefore never
+	// interleaves with an in-flight round — the invariant that makes a
+	// live split invisible to acked commits. epoch increases by one per
+	// flip; stale routing is detected (and adopted) by comparing epochs.
+	routeMu sync.RWMutex
+	router  Router
+	epoch   uint64
+	moves   atomic.Int64
 
 	// allocMu serializes timestamp allocation with outstanding-set
 	// marking, so every start timestamp observes the outstanding marks of
@@ -151,6 +166,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	co := &Coordinator{
 		cfg:         cfg,
 		router:      cfg.Router,
+		epoch:       1,
 		parts:       cfg.Backends,
 		clock:       cfg.Clock,
 		dlog:        cfg.DecisionLog,
@@ -160,8 +176,140 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return co, nil
 }
 
-// Router returns the coordinator's row router.
-func (co *Coordinator) Router() Router { return co.router }
+// Router returns the coordinator's current row router.
+func (co *Coordinator) Router() Router {
+	co.routeMu.RLock()
+	defer co.routeMu.RUnlock()
+	return co.router
+}
+
+// Routing returns the coordinator's current routing table (router + epoch).
+func (co *Coordinator) Routing() RoutingTable {
+	co.routeMu.RLock()
+	defer co.routeMu.RUnlock()
+	return RoutingTable{Epoch: co.epoch, Router: co.router}
+}
+
+// ApplyRouting adopts a routing table if it is newer than the one held —
+// the epoch fence: an older or equal table (a delayed redirect, a replay)
+// is ignored. Returns whether the table was adopted.
+func (co *Coordinator) ApplyRouting(rt RoutingTable) bool {
+	if rt.Router == nil || rt.Router.Partitions() != len(co.parts) {
+		return false
+	}
+	co.routeMu.Lock()
+	defer co.routeMu.Unlock()
+	if rt.Epoch <= co.epoch {
+		return false
+	}
+	co.epoch = rt.Epoch
+	co.router = rt.Router
+	return true
+}
+
+// adoptRedirect folds an epoch-aware misroute redirect into the routing
+// table (no-op when the local table is already as new).
+func (co *Coordinator) adoptRedirect(mr *MisrouteError) {
+	r, err := ParseRouter(mr.Spec, len(co.parts))
+	if err != nil {
+		return // unusable spec; the retry will fail and surface the misroute
+	}
+	co.ApplyRouting(RoutingTable{Epoch: mr.Epoch, Router: r})
+}
+
+// MoveRange performs one live repartitioning step: it reassigns [lo, hi)
+// (hi == 0 means the end of the row-id space) to partition to, migrating
+// the donor partitions' commit-table state for the range, and flips the
+// routing table under the epoch fence. The current router must be a
+// RangeMap (the elastic deployment's router).
+//
+// Ordering is what makes the move invisible to acked commits:
+//
+//  1. routeMu is taken exclusively — every commit fan-out holds it shared
+//     for its whole round, so the move begins only between rounds and no
+//     round ever straddles the flip.
+//  2. Background decide rounds are drained: every acked cross-partition
+//     verdict is applied on its partitions before any state ships.
+//  3. Per segment of [lo, hi) owned elsewhere: the donor's commit-table
+//     state for the range is exported (refused while prepared rows sit in
+//     range — the rebalancer retries next tick), applied on the target
+//     (logged to the target's WAL first), then discarded on the donor
+//     (logged to the donor's WAL), and the router flips for that segment.
+//     A crash between apply and discard replays into a doubly-owned range —
+//     safe pessimism, both copies answer conflict checks identically until
+//     the discard record replays.
+//  4. After the last segment the new table is pushed to every routing-aware
+//     backend. Push failures are harmless: the flip already happened, so a
+//     stale server answers with a redirect carrying the new epoch and
+//     adoption self-heals the table.
+//
+// Flipping per segment (not once at the end) keeps the router consistent
+// with wherever the state actually lives if a later segment's export fails
+// mid-move.
+func (co *Coordinator) MoveRange(lo, hi uint64, to int) error {
+	co.routeMu.Lock()
+	defer co.routeMu.Unlock()
+	if to < 0 || to >= len(co.parts) {
+		return fmt.Errorf("partition: move target %d out of range [0,%d)", to, len(co.parts))
+	}
+	rm, ok := co.router.(*RangeMap)
+	if !ok {
+		return fmt.Errorf("partition: live moves need a RangeMap router (have %T)", co.router)
+	}
+	if err := co.DrainDecides(); err != nil {
+		return err
+	}
+	tgt, ok := co.parts[to].(RangeMigratable)
+	if !ok {
+		return fmt.Errorf("partition: backend %d cannot accept range state (%T)", to, co.parts[to])
+	}
+	moved := false
+	for _, seg := range rm.rangesIn(lo, hi) {
+		if seg.owner == to {
+			continue
+		}
+		donor, ok := co.parts[seg.owner].(RangeMigratable)
+		if !ok {
+			return fmt.Errorf("partition: backend %d cannot export range state (%T)", seg.owner, co.parts[seg.owner])
+		}
+		rs, err := donor.ExportRange(seg.lo, seg.hi)
+		if err != nil {
+			return err
+		}
+		if err := tgt.ApplyRange(rs); err != nil {
+			return err
+		}
+		if err := donor.DiscardRange(seg.lo, seg.hi); err != nil {
+			return err
+		}
+		next, err := rm.WithMove(seg.lo, seg.hi, to)
+		if err != nil {
+			return err
+		}
+		rm = next
+		co.router = next
+		co.epoch++
+		moved = true
+	}
+	if !moved {
+		return nil
+	}
+	co.moves.Add(1)
+	co.pushRouting(RoutingTable{Epoch: co.epoch, Router: rm})
+	return nil
+}
+
+// pushRouting offers a routing table to every routing-aware backend. Push
+// failures are harmless (a stale server answers with a redirect and the
+// commit path re-pushes), as are pushes to already-current servers (the
+// epoch fence drops them).
+func (co *Coordinator) pushRouting(rt RoutingTable) {
+	for _, b := range co.parts {
+		if ru, ok := b.(RoutingUpdatable); ok {
+			_ = ru.SetRouting(rt)
+		}
+	}
+}
 
 // DecisionLog returns the coordinator's decision log (for recovery
 // tooling).
@@ -244,11 +392,18 @@ func (co *Coordinator) waitPublished(ts uint64) {
 }
 
 // Cover returns the sorted partition set covering a commit request's
-// write rows and conflict-check rows (read set under WSI). The
-// virtual-time cluster model uses it so its cost model routes exactly as
-// the real protocol does.
+// write rows and conflict-check rows (read set under WSI) per the current
+// router. The virtual-time cluster model uses it so its cost model routes
+// exactly as the real protocol does.
 func (co *Coordinator) Cover(req *oracle.CommitRequest) []int {
-	n := co.router.Partitions()
+	return co.coverWith(co.Router(), req)
+}
+
+// coverWith is Cover against an explicit router snapshot — the commit
+// fan-out pins one router for its whole round (under routeMu), so every
+// cover and slice of the round agrees on ownership.
+func (co *Coordinator) coverWith(router Router, req *oracle.CommitRequest) []int {
+	n := router.Partitions()
 	if n == 1 {
 		return []int{0}
 	}
@@ -267,11 +422,11 @@ func (co *Coordinator) Cover(req *oracle.CommitRequest) []int {
 		list = append(list, p)
 	}
 	for _, r := range req.WriteSet {
-		add(co.router.Partition(r))
+		add(router.Partition(r))
 	}
 	if co.cfg.Engine == oracle.WSI {
 		for _, r := range req.ReadSet {
-			add(co.router.Partition(r))
+			add(router.Partition(r))
 		}
 	}
 	if n <= 64 {
@@ -293,11 +448,12 @@ func (co *Coordinator) Cover(req *oracle.CommitRequest) []int {
 	return list
 }
 
-// sliceRows filters a row set down to the rows partition p owns.
-func (co *Coordinator) sliceRows(rows []oracle.RowID, p int) []oracle.RowID {
+// sliceRows filters a row set down to the rows partition p owns under the
+// round's pinned router.
+func sliceRows(router Router, rows []oracle.RowID, p int) []oracle.RowID {
 	var out []oracle.RowID
 	for _, r := range rows {
-		if co.router.Partition(r) == p {
+		if router.Partition(r) == p {
 			out = append(out, r)
 		}
 	}
@@ -320,18 +476,37 @@ func (co *Coordinator) Commit(req oracle.CommitRequest) (oracle.CommitResult, er
 // prepare/decide protocol — all concurrently. An error reports an
 // infrastructure failure; per-transaction conflicts are reported in the
 // results.
+//
+// The whole fan-out runs under the routing fence (routeMu, shared): a live
+// repartition waits for in-flight rounds and no round ever mixes routers.
+// A partition server that rejects a group as misrouted (this coordinator's
+// table went stale against a rebalance elsewhere) answers with an
+// epoch-aware redirect; the group — atomically rejected before any state
+// change — is re-routed under the refreshed table and retried once.
 func (co *Coordinator) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult, error) {
 	results := make([]oracle.CommitResult, len(reqs))
+	if err := co.commitRouted(reqs, results, nil, 0); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// commitRouted routes and decides the requests selected by idxs (nil means
+// all of reqs) into results. depth > 0 marks a misroute retry; a group
+// misrouted twice surfaces the error rather than looping.
+func (co *Coordinator) commitRouted(reqs []oracle.CommitRequest, results []oracle.CommitResult, idxs []int, depth int) error {
+	co.routeMu.RLock()
+	router := co.router
 	singles := make(map[int][]int)
 	var multi []int
 	covers := make([][]int, len(reqs))
-	for i := range reqs {
+	route := func(i int) {
 		if reqs[i].ReadOnly() {
 			// §5.1 read-only fast path, unchanged by partitioning.
 			results[i] = oracle.CommitResult{Committed: true, CommitTS: reqs[i].StartTS}
-			continue
+			return
 		}
-		cover := co.Cover(&reqs[i])
+		cover := co.coverWith(router, &reqs[i])
 		covers[i] = cover
 		if len(cover) == 1 {
 			singles[cover[0]] = append(singles[cover[0]], i)
@@ -339,46 +514,95 @@ func (co *Coordinator) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.Commit
 			multi = append(multi, i)
 		}
 	}
-	co.singleTxns.Add(int64(len(reqs) - len(multi) - countReadOnly(reqs)))
-	co.crossTxns.Add(int64(len(multi)))
+	if idxs == nil {
+		for i := range reqs {
+			route(i)
+		}
+	} else {
+		for _, i := range idxs {
+			route(i)
+		}
+	}
+	if depth == 0 {
+		// A retried group is counted once, under its first classification.
+		nSingles := 0
+		for _, g := range singles {
+			nSingles += len(g)
+		}
+		co.singleTxns.Add(int64(nSingles))
+		co.crossTxns.Add(int64(len(multi)))
+	}
+
+	// Misrouted groups collect here for the post-fence retry; the redirect
+	// with the newest epoch refreshes the routing table. The retry runs
+	// outside the read lock — adopting a table needs the write lock.
+	var (
+		redMu    sync.Mutex
+		retry    []int
+		redirect *MisrouteError
+	)
+	noteMisroute := func(mr *MisrouteError, group []int) {
+		redMu.Lock()
+		retry = append(retry, group...)
+		if redirect == nil || mr.Epoch > redirect.Epoch {
+			redirect = mr
+		}
+		redMu.Unlock()
+	}
 
 	errCh := make(chan error, len(singles)+1)
 	var wg sync.WaitGroup
-	for p, idxs := range singles {
+	for p, group := range singles {
 		wg.Add(1)
-		go func(p int, idxs []int) {
+		go func(p int, group []int) {
 			defer wg.Done()
-			if err := co.commitSingles(p, reqs, idxs, results); err != nil {
-				errCh <- err
+			err := co.commitSingles(p, reqs, group, results)
+			if err == nil {
+				return
 			}
-		}(p, idxs)
+			if mr := AsMisroute(err); mr != nil {
+				// The server rejects a misrouted group before touching any
+				// state, so re-routing the whole group is safe.
+				noteMisroute(mr, group)
+				return
+			}
+			errCh <- err
+		}(p, group)
 	}
 	if len(multi) > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := co.commitCross(reqs, multi, covers, results); err != nil {
+			if err := co.commitCross(router, reqs, multi, covers, results, noteMisroute); err != nil {
 				errCh <- err
 			}
 		}()
 	}
 	wg.Wait()
+	co.routeMu.RUnlock()
 	select {
 	case err := <-errCh:
-		return nil, err
+		return err
 	default:
 	}
-	return results, nil
-}
-
-func countReadOnly(reqs []oracle.CommitRequest) int {
-	n := 0
-	for i := range reqs {
-		if reqs[i].ReadOnly() {
-			n++
+	if redirect != nil {
+		co.adoptRedirect(redirect)
+		if rt := co.Routing(); redirect.Epoch < rt.Epoch {
+			// The redirecting server is the stale party — typically a
+			// partition that crash-restarted on its static flag table and
+			// lost the adopted routing epoch. Heal it by pushing the newer
+			// table down before the retry; the server-side epoch fence makes
+			// the push idempotent and drop-safe on already-current servers.
+			co.pushRouting(rt)
 		}
 	}
-	return n
+	if len(retry) == 0 {
+		return nil
+	}
+	if depth > 0 {
+		return redirect
+	}
+	return co.commitRouted(reqs, results, retry, depth+1)
 }
 
 // Pools recycling the coordinator's per-round frame containers. Only the
@@ -457,9 +681,10 @@ type crossRound struct {
 }
 
 // buildSlices cuts each cross-partition request into per-partition prepare
-// slices. ctOf supplies the pre-allocated commit timestamp (0 in shared
-// mode, where the timestamp is assigned at decide time).
-func (co *Coordinator) buildSlices(reqs []oracle.CommitRequest, multi []int, covers [][]int, ctOf func(k int) uint64) crossRound {
+// slices under the round's pinned router. ctOf supplies the pre-allocated
+// commit timestamp (0 in shared mode, where the timestamp is assigned at
+// decide time).
+func (co *Coordinator) buildSlices(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, ctOf func(k int) uint64) crossRound {
 	r := crossRound{
 		prepReqs: make(map[int][]oracle.PrepareRequest),
 		slots:    make(map[int][]int),
@@ -469,10 +694,10 @@ func (co *Coordinator) buildSlices(reqs []oracle.CommitRequest, multi []int, cov
 			pr := oracle.PrepareRequest{
 				StartTS:  reqs[i].StartTS,
 				CommitTS: ctOf(k),
-				WriteSet: co.sliceRows(reqs[i].WriteSet, p),
+				WriteSet: sliceRows(router, reqs[i].WriteSet, p),
 			}
 			if co.cfg.Engine == oracle.WSI {
-				pr.ReadSet = co.sliceRows(reqs[i].ReadSet, p)
+				pr.ReadSet = sliceRows(router, reqs[i].ReadSet, p)
 			}
 			r.prepReqs[p] = append(r.prepReqs[p], pr)
 			r.slots[p] = append(r.slots[p], k)
@@ -484,12 +709,17 @@ func (co *Coordinator) buildSlices(reqs []oracle.CommitRequest, multi []int, cov
 // prepareRound runs phase one in parallel and ANDs the votes. A partition
 // that fails to answer vetoes every transaction it covers — aborting more
 // than a serial oracle would is always safe, and the client is never
-// acknowledged for a commit that was not unanimously prepared.
-func (co *Coordinator) prepareRound(r crossRound, n int) []bool {
+// acknowledged for a commit that was not unanimously prepared. A misrouted
+// prepare slice (the partition no longer owns those rows) likewise only
+// vetoes, and the redirect it carried is returned so the caller can refresh
+// its routing table: the transaction aborts cleanly this round and the
+// client's retry routes correctly.
+func (co *Coordinator) prepareRound(r crossRound, n int) ([]bool, *MisrouteError) {
 	votes := make([]bool, n)
 	for i := range votes {
 		votes[i] = true
 	}
+	var redirect *MisrouteError
 	var vmu sync.Mutex
 	var wg sync.WaitGroup
 	for p, prs := range r.prepReqs {
@@ -500,6 +730,9 @@ func (co *Coordinator) prepareRound(r crossRound, n int) []bool {
 			vmu.Lock()
 			defer vmu.Unlock()
 			if err != nil {
+				if mr := AsMisroute(err); mr != nil && (redirect == nil || mr.Epoch > redirect.Epoch) {
+					redirect = mr
+				}
 				for _, k := range r.slots[p] {
 					votes[k] = false
 				}
@@ -513,7 +746,7 @@ func (co *Coordinator) prepareRound(r crossRound, n int) []bool {
 		}(p, prs)
 	}
 	wg.Wait()
-	return votes
+	return votes, redirect
 }
 
 // decideRound fans the verdicts to every covering partition in parallel.
@@ -575,18 +808,24 @@ func (co *Coordinator) finishCross(multi []int, decisions []oracle.Decision, res
 // the verdicts are durably recorded; it releases as soon as the decision
 // log — which the coordinator's merged queries consult — has them, not
 // when the slower decide fan-out completes.
-func (co *Coordinator) commitCross(reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
+func (co *Coordinator) commitCross(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
 	if co.cfg.SharedTSO {
 		// NewCoordinator guarantees the clock is hookable in this mode.
-		return co.commitCrossShared(co.clock.(HookedClock), reqs, multi, covers, results)
+		return co.commitCrossShared(co.clock.(HookedClock), router, reqs, multi, covers, results, noteMisroute)
 	}
-	return co.commitCrossBarrier(reqs, multi, covers, results)
+	return co.commitCrossBarrier(router, reqs, multi, covers, results, noteMisroute)
 }
 
 // commitCrossShared is the barrier-free in-process path.
-func (co *Coordinator) commitCrossShared(hc HookedClock, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
-	round := co.buildSlices(reqs, multi, covers, func(int) uint64 { return 0 })
-	votes := co.prepareRound(round, len(multi))
+func (co *Coordinator) commitCrossShared(hc HookedClock, router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
+	round := co.buildSlices(router, reqs, multi, covers, func(int) uint64 { return 0 })
+	votes, mr := co.prepareRound(round, len(multi))
+	if mr != nil {
+		// Misrouted slices were vetoed (the transactions abort, nothing is
+		// acked wrongly); capture the redirect so the table refreshes, but
+		// retry nothing — the abort verdicts below are final.
+		noteMisroute(mr, nil)
+	}
 
 	decisions := make([]oracle.Decision, len(multi))
 	for k, i := range multi {
@@ -657,7 +896,7 @@ func (co *Coordinator) DrainDecides() error {
 
 // commitCrossBarrier is the pre-allocated-timestamp path for remote
 // partitions.
-func (co *Coordinator) commitCrossBarrier(reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult) error {
+func (co *Coordinator) commitCrossBarrier(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
 	lo, err := co.allocCommitTSs(len(multi))
 	if err != nil {
 		return err
@@ -671,8 +910,13 @@ func (co *Coordinator) commitCrossBarrier(reqs []oracle.CommitRequest, multi []i
 	}
 	defer release()
 
-	round := co.buildSlices(reqs, multi, covers, func(k int) uint64 { return lo + uint64(k) })
-	votes := co.prepareRound(round, len(multi))
+	round := co.buildSlices(router, reqs, multi, covers, func(k int) uint64 { return lo + uint64(k) })
+	votes, mr := co.prepareRound(round, len(multi))
+	if mr != nil {
+		// As in the shared path: vetoed aborts stand, only the table refresh
+		// is taken from the redirect.
+		noteMisroute(mr, nil)
+	}
 
 	decisions := make([]oracle.Decision, len(multi))
 	for k, i := range multi {
@@ -900,6 +1144,8 @@ func (co *Coordinator) Stats() Stats {
 		CrossTxns:    co.crossTxns.Load(),
 		CrossCommits: co.crossCommits.Load(),
 		CrossAborts:  co.crossAborts.Load(),
+		RoutingEpoch: co.Routing().Epoch,
+		Moves:        co.moves.Load(),
 		Partitions:   make([]oracle.Stats, len(co.parts)),
 	}
 	for p, b := range co.parts {

@@ -110,7 +110,10 @@ func (rr RangeRouter) String() string { return fmt.Sprintf("range(%d)", rr.Parti
 
 // ParseRouter builds a router from a flag-style spec for n partitions:
 // "hash" (the default), "range" (even slices over the full 64-bit row-id
-// space), or "range:s1,s2,..." with explicit ascending split points.
+// space), "range:s1,s2,..." with explicit ascending split points ("range:"
+// with no splits is the single-partition range router), or
+// "map:<parts>;o0,o1,...;s1,s2,..." — an elastic RangeMap with explicit
+// per-segment owners, the syntax RoutingTable redirects carry.
 func ParseRouter(spec string, n int) (Router, error) {
 	switch {
 	case spec == "" || spec == "hash":
@@ -118,10 +121,13 @@ func ParseRouter(spec string, n int) (Router, error) {
 	case spec == "range":
 		return NewEvenRangeRouter(n, ^uint64(0)), nil
 	case strings.HasPrefix(spec, "range:"):
-		parts := strings.Split(strings.TrimPrefix(spec, "range:"), ",")
-		splits := make([]uint64, 0, len(parts))
-		for _, p := range parts {
-			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		var splits []uint64
+		for _, p := range strings.Split(strings.TrimPrefix(spec, "range:"), ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(p, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("partition: bad range split %q: %w", p, err)
 			}
@@ -135,7 +141,16 @@ func ParseRouter(spec string, n int) (Router, error) {
 			return nil, fmt.Errorf("partition: %d range splits describe %d partitions, want %d", len(splits), rr.Partitions(), n)
 		}
 		return rr, nil
+	case strings.HasPrefix(spec, "map:"):
+		m, err := parseRangeMapSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if m.Partitions() != n {
+			return nil, fmt.Errorf("partition: range map covers %d partitions, want %d", m.Partitions(), n)
+		}
+		return m, nil
 	default:
-		return nil, fmt.Errorf("partition: unknown router spec %q (want hash, range, or range:s1,s2,...)", spec)
+		return nil, fmt.Errorf("partition: unknown router spec %q (want hash, range, range:s1,s2,..., or map:...)", spec)
 	}
 }

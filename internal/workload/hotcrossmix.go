@@ -1,0 +1,94 @@
+package workload
+
+import "math/rand"
+
+// HotCrossMix is the elastic-repartitioning workload: the row space
+// [0, Rows) is carved into Blocks contiguous blocks, each transaction picks
+// a home block by a ScrambledZipfian draw over block indexes — a handful of
+// blocks carry most of the load, scattered anywhere in the key space rather
+// than clustered at the front — and draws its rows uniformly inside that
+// block. A dialable CrossFraction of write transactions additionally write
+// into a second block.
+//
+// The locality structure is what separates the routers under skew: a range
+// router keeps each transaction's block (and so its whole row set) on one
+// partition but eats the hot blocks wherever they landed, hash routing
+// scatters every multi-row transaction across partitions (the two-phase
+// tax on every commit), and the elastic rebalancer can carve exactly the
+// hot blocks off and spread them — which is the scale-out experiment's
+// point.
+type HotCrossMix struct {
+	cfg    MixConfig
+	zip    *ScrambledZipfian
+	blocks int64
+	rows   int64
+	cross  float64
+}
+
+// DefaultHotBlocks is the default block count — fine enough that a hot
+// block is much smaller than a partition's slice, coarse enough that the
+// per-slice load histogram resolves it.
+const DefaultHotBlocks = 1024
+
+// NewHotCrossMix builds a hot-block mix over [0, rows) with the given block
+// count (<= 0 uses DefaultHotBlocks) and cross-block write fraction.
+func NewHotCrossMix(cfg MixConfig, rows, blocks int64, crossFraction float64) *HotCrossMix {
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 20
+	}
+	if blocks <= 0 {
+		blocks = DefaultHotBlocks
+	}
+	if rows < blocks {
+		rows = blocks
+	}
+	return &HotCrossMix{
+		cfg:    cfg,
+		zip:    NewScrambledZipfian(blocks),
+		blocks: blocks,
+		rows:   rows,
+		cross:  crossFraction,
+	}
+}
+
+// blockRow draws a uniform row from block b.
+func (m *HotCrossMix) blockRow(r *rand.Rand, b int64) int64 {
+	per := m.rows / m.blocks
+	lo := b * per
+	hi := lo + per
+	if b == m.blocks-1 {
+		hi = m.rows
+	}
+	return lo + r.Int63n(hi-lo)
+}
+
+// Next generates one transaction. Safe for concurrent use with per-worker
+// *rand.Rand instances (the zipfian draw only reads precomputed fields).
+func (m *HotCrossMix) Next(r *rand.Rand) Txn {
+	kind := TxnComplex
+	if r.Float64() < m.cfg.ReadOnlyFraction {
+		kind = TxnReadOnly
+	}
+	home := m.zip.Next(r)
+	n := r.Intn(m.cfg.MaxRows + 1)
+	ops := make([]Op, 0, n+2)
+	for i := 0; i < n; i++ {
+		op := Op{Kind: OpRead, Row: m.blockRow(r, home)}
+		if kind == TxnComplex && r.Float64() < m.cfg.WriteFraction {
+			op.Kind = OpWrite
+		}
+		ops = append(ops, op)
+	}
+	if kind == TxnComplex && m.blocks > 1 && r.Float64() < m.cross {
+		// A "cross" transaction must actually touch two blocks: one write
+		// at home, one in a second (zipfian-drawn, re-rolled if equal).
+		other := m.zip.Next(r)
+		if other == home {
+			other = (home + 1 + r.Int63n(m.blocks-1)) % m.blocks
+		}
+		ops = append(ops,
+			Op{Kind: OpWrite, Row: m.blockRow(r, home)},
+			Op{Kind: OpWrite, Row: m.blockRow(r, other)})
+	}
+	return Txn{Kind: kind, Ops: ops}
+}
