@@ -17,6 +17,14 @@
 // flushes the WAL and writes a final checkpoint, so the next start
 // recovers instantly.
 //
+// The million-session front door is configured with the ingress flags —
+// multiplexed clients (netsrv.DialMux) carry many logical sessions per
+// connection, and the admission gate bounds what reaches the oracle,
+// shedding the excess with cheap overload replies at the frame boundary:
+//
+//	oracle-server -addr :7070 -coalesce 64 -tenants 2 -max-inflight 256 \
+//	    -queue-cap 64 -rate 50000 -max-sessions 1000000 -idle-timeout 2m
+//
 // A second instance can run as a hot standby on the same machine:
 //
 //	oracle-server -addr :7071 -standby -follow /var/lib/wsi/wal.log \
@@ -75,6 +83,15 @@ func main() {
 
 		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
 		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
+
+		tenants     = flag.Int("tenants", 0, "admission classes for the ingress gate (envelope tenant ids 0..n-1; enables admission when any ingress flag is set)")
+		maxInflight = flag.Int("max-inflight", 0, "data-plane requests executing concurrently before arrivals queue (0 = gate default 256)")
+		queueCap    = flag.Int("queue-cap", 0, "admitted-but-waiting requests one tenant may park; beyond it arrivals are shed with overload (0 = gate default 128)")
+		rate        = flag.Float64("rate", 0, "per-tenant token-bucket refill in requests/second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "token-bucket depth (with -rate; 0 = max(rate, 1))")
+		maxSessions = flag.Int("max-sessions", 0, "server-wide cap on live multiplexed sessions (0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "disconnect a connection sending no frame for this long (0 = never; subscribers exempt)")
+		maxPending  = flag.Int("max-pending", 0, "per-connection response buffer bound in bytes; a slow reader beyond it is disconnected (0 = default 4MiB, -1 = unbounded)")
 
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "write a commit-table checkpoint this often (0 = off; requires -wal)")
 		standby      = flag.Bool("standby", false, "run as a hot standby tailing -follow; serve only after a promote request")
@@ -136,14 +153,58 @@ func main() {
 		log.Printf("oracle-server: partition %d of %d (%s router, epoch 1)", *partitionID, *partitions, *routerSpec)
 	}
 
+	ing := ingressFlags{
+		tenants:     *tenants,
+		maxInflight: *maxInflight,
+		queueCap:    *queueCap,
+		rate:        *rate,
+		burst:       *burst,
+		maxSessions: *maxSessions,
+		idleTimeout: *idleTimeout,
+		maxPending:  *maxPending,
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *standby {
-		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, role, sig)
+		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ing, role, sig)
 		return
 	}
-	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, role, sig)
+	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, ing, role, sig)
+}
+
+// ingressFlags carries the front-door knobs shared by primary and standby.
+type ingressFlags struct {
+	tenants, maxInflight, queueCap int
+	rate                           float64
+	burst, maxSessions             int
+	idleTimeout                    time.Duration
+	maxPending                     int
+}
+
+// apply installs the admission gate and connection hygiene limits on a
+// server. The gate is enabled when any admission flag is set; idle-timeout
+// and max-pending apply independently.
+func (f ingressFlags) apply(srv *netsrv.Server) {
+	if f.idleTimeout > 0 {
+		srv.IdleTimeout = f.idleTimeout
+	}
+	if f.maxPending != 0 {
+		srv.MaxPendingBytes = f.maxPending
+	}
+	if f.tenants > 0 || f.maxInflight > 0 || f.queueCap > 0 || f.rate > 0 || f.maxSessions > 0 {
+		srv.Ingress = &netsrv.IngressConfig{
+			Tenants:     f.tenants,
+			MaxInflight: f.maxInflight,
+			QueueCap:    f.queueCap,
+			Rate:        f.rate,
+			Burst:       f.burst,
+			MaxSessions: f.maxSessions,
+		}
+		log.Printf("oracle-server: admission gate on (tenants=%d max-inflight=%d queue-cap=%d rate=%g max-sessions=%d)",
+			f.tenants, f.maxInflight, f.queueCap, f.rate, f.maxSessions)
+	}
 }
 
 // partitionRole carries the server's slice identity in a partitioned
@@ -172,7 +233,7 @@ func configureCoalescing(srv *netsrv.Server, coalesce int, delay time.Duration) 
 	}
 }
 
-func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, role *partitionRole, sig chan os.Signal) {
+func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, role *partitionRole, sig chan os.Signal) {
 	var (
 		so     *oracle.StatusOracle
 		writer *wal.Writer
@@ -216,6 +277,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	srv := netsrv.NewServer(so)
 	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
+	ing.apply(srv)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)
@@ -247,7 +309,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 }
 
-func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, role *partitionRole, sig chan os.Signal) {
+func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, role *partitionRole, sig chan os.Signal) {
 	if follow == "" {
 		log.Fatalf("oracle-server: -standby requires -follow <primary wal>")
 	}
@@ -299,6 +361,7 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 	})
 	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
+	ing.apply(srv)
 	boundAddr, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)

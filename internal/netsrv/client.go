@@ -250,6 +250,14 @@ func (c *Client) readLoop(conn net.Conn) {
 // built in the client's reusable write buffer and leaves in one Write
 // syscall, so the payload argument is free for reuse on return.
 func (c *Client) callResp(op byte, payload []byte) (response, error) {
+	return c.callRespEnv(op, payload, nil)
+}
+
+// callRespEnv is callResp with an optional ingress envelope: when env is
+// non-nil the request travels as opEnvelope carrying tenant, session and
+// deadline budget, and the inner op rides inside. Session mux handles go
+// through here; bare clients pass nil and stay wire-identical to old peers.
+func (c *Client) callRespEnv(op byte, payload []byte, env *envelope) (response, error) {
 	ch := respChPool.Get().(chan response)
 	c.mu.Lock()
 	if c.err != nil {
@@ -278,10 +286,21 @@ func (c *Client) callResp(op byte, payload []byte) (response, error) {
 	id := c.nextID
 	c.pending[id] = ch
 	// Frame: len(u32) reqID(u64) op(u8) payload — one buffer, one syscall.
+	// An enveloped request inserts the 10-byte ingress header between the
+	// op (rewritten to opEnvelope) and the payload.
 	b := append(c.wbuf[:0], 0, 0, 0, 0)
-	binary.BigEndian.PutUint32(b, uint32(9+len(payload)))
+	bodyLen := 9 + len(payload)
+	if env != nil {
+		bodyLen += envelopeLen + 1
+	}
+	binary.BigEndian.PutUint32(b, uint32(bodyLen))
 	b = appendU64(b, id)
-	b = append(b, op)
+	if env != nil {
+		b = append(b, opEnvelope)
+		b = appendEnvelope(b, *env, op)
+	} else {
+		b = append(b, op)
+	}
 	b = append(b, payload...)
 	if cap(b) <= maxRetainedWriteBuf {
 		c.wbuf = b[:0] // keep the grown buffer; one giant frame is not pinned
@@ -318,6 +337,15 @@ func (c *Client) callResp(op byte, payload []byte) (response, error) {
 			return response{}, perr
 		}
 		return response{}, &partition.MisrouteError{Epoch: epoch, Spec: spec}
+	}
+	if resp.code == codeOverload {
+		err := shedError(resp.payload)
+		putRespBuf(resp)
+		return response{}, err
+	}
+	if resp.code == codeExpired {
+		putRespBuf(resp)
+		return response{}, ErrDeadlineExceeded
 	}
 	return resp, nil
 }

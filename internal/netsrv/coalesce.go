@@ -23,9 +23,11 @@ func newCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Duration)
 }
 
 // submit parks one commit request in the accumulation loop and waits for its
-// batch's decision.
-func (c *coalescer) submit(req oracle.CommitRequest) (oracle.CommitResult, error) {
-	res, err := c.b.SubmitWait(req)
+// batch's decision. A non-zero deadline travels into the batcher: a request
+// that expires while parked is dropped at batch-cut time with
+// oracle.ErrExpired instead of occupying a decide slot.
+func (c *coalescer) submit(req oracle.CommitRequest, deadline time.Time) (oracle.CommitResult, error) {
+	res, err := c.b.SubmitWaitDeadline(req, deadline)
 	if errors.Is(err, oracle.ErrBatcherStopped) {
 		return oracle.CommitResult{}, ErrServerClosed
 	}
@@ -51,9 +53,10 @@ func newQueryCoalescer(so *oracle.StatusOracle, maxBatch int, maxDelay time.Dura
 	return &queryCoalescer{b: oracle.NewBatcher(decide, maxBatch, maxDelay)}
 }
 
-// submit parks one status lookup and waits for its batch's answers.
-func (c *queryCoalescer) submit(startTS uint64) (oracle.TxnStatus, error) {
-	st, err := c.b.SubmitWait(startTS)
+// submit parks one status lookup and waits for its batch's answers,
+// dropping it with oracle.ErrExpired if deadline passes before the cut.
+func (c *queryCoalescer) submit(startTS uint64, deadline time.Time) (oracle.TxnStatus, error) {
+	st, err := c.b.SubmitWaitDeadline(startTS, deadline)
 	if errors.Is(err, oracle.ErrBatcherStopped) {
 		return oracle.TxnStatus{}, ErrServerClosed
 	}

@@ -1,9 +1,11 @@
 package netsrv
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/oracle"
 	"repro/internal/tso"
@@ -126,6 +128,136 @@ func TestPooledPathNoAliasing(t *testing.T) {
 		}
 	}
 	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledPathEnvelopeChaos is the ingress twin of the aliasing test: many
+// multiplexed sessions hammer the admission gate through the envelope path
+// with a mix of generous and already-hopeless deadlines, while other
+// connections disconnect abruptly with requests still in flight. Expired and
+// shed requests answer through the same pooled reply path as successes, and
+// a dropped connection abandons responses mid-write — if any of those paths
+// leaked or double-released a pooled handler context, the surviving
+// sessions' responses would cross wires (caught by the monotonic commit
+// checks) or the -race run would flag the buffer handoff.
+func TestPooledPathEnvelopeChaos(t *testing.T) {
+	so, err := oracle.New(oracle.Config{Engine: oracle.WSI, TSO: tso.New(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(so)
+	srv.Logf = nil
+	srv.CoalesceMaxBatch = 8
+	srv.Ingress = &IngressConfig{Tenants: 2, MaxInflight: 8, QueueCap: 16}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Churn connections: each dials, fires pipelined requests, and slams the
+	// connection shut without reading the answers.
+	var churn sync.WaitGroup
+	stopChurn := make(chan struct{})
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			m, err := DialMux(addr, 1)
+			if err != nil {
+				continue
+			}
+			s := m.Session(1)
+			_ = s.SetDeadline(time.Millisecond)
+			for j := 0; j < 8; j++ {
+				go s.Begin() // abandoned mid-flight when the mux closes
+			}
+			m.Close()
+		}
+	}()
+
+	m, err := DialMux(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const workers = 6
+	const txnsPerWorker = 100
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		s := m.Session(byte(w % 2))
+		// Half the workers carry a deadline every request must beat (loose
+		// enough to pass on any CI machine); expiry is still possible under
+		// scheduler stalls, so expired answers are tolerated — what is not
+		// tolerated is a wrong answer.
+		if w%2 == 0 {
+			if err := s.SetDeadline(2 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Add(1)
+		go func(s *Session, worker int) {
+			defer wg.Done()
+			base := oracle.RowID(uint64(worker+1) << 40)
+			var lastCT uint64
+			for i := 0; i < txnsPerWorker; i++ {
+				ts, err := s.Begin()
+				if err != nil {
+					if errors.Is(err, ErrOverload) || errors.Is(err, ErrDeadlineExceeded) {
+						continue
+					}
+					errCh <- err
+					return
+				}
+				res, err := s.Commit(oracle.CommitRequest{
+					StartTS:  ts,
+					WriteSet: []oracle.RowID{base + oracle.RowID(i)},
+				})
+				if err != nil {
+					if errors.Is(err, ErrOverload) || errors.Is(err, ErrDeadlineExceeded) {
+						continue
+					}
+					errCh <- err
+					return
+				}
+				if !res.Committed {
+					errCh <- fmt.Errorf("worker %d txn %d: disjoint-row commit aborted", worker, i)
+					return
+				}
+				if res.CommitTS <= ts || res.CommitTS <= lastCT {
+					errCh <- fmt.Errorf("worker %d txn %d: commitTS %d (start %d, prev %d) not monotone — response crossed wires",
+						worker, i, res.CommitTS, ts, lastCT)
+					return
+				}
+				lastCT = res.CommitTS
+				st, err := s.Query(ts)
+				if err != nil {
+					if errors.Is(err, ErrOverload) || errors.Is(err, ErrDeadlineExceeded) {
+						continue
+					}
+					errCh <- err
+					return
+				}
+				if st.Status != oracle.StatusCommitted || st.CommitTS != res.CommitTS {
+					errCh <- fmt.Errorf("worker %d txn %d: query(%d) = %+v, want committed@%d",
+						worker, i, ts, st, res.CommitTS)
+					return
+				}
+			}
+		}(s, w)
+	}
+	wg.Wait()
+	close(stopChurn)
+	churn.Wait()
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)

@@ -58,6 +58,14 @@ const (
 	opExportRange  = 18
 	opApplyRange   = 19
 	opDiscardRange = 20
+	// opEnvelope wraps any data-plane op with the ingress header — tenant,
+	// logical session id and a relative deadline — so one transport carries
+	// many multiplexed client sessions and the server can make admission
+	// decisions at the frame boundary. Payload:
+	// tenant(u8) session(u32) deadlineMicros(u32, 0 = none) innerOp(u8)
+	// innerPayload. Bare (non-enveloped) frames remain valid and are
+	// admitted as tenant 0, session 0, no deadline.
+	opEnvelope = 21
 )
 
 // Role bytes carried by opHealth / opPromote responses.
@@ -76,7 +84,47 @@ const (
 	// router spec, so the client refreshes its table and retries instead
 	// of failing. Payload: epoch(u64) spec(string).
 	codeRedirect = 3
+	// codeOverload answers a request shed by the admission layer before it
+	// touched the oracle: the tenant's bounded queue was full, its token
+	// bucket was empty, or the session cap was hit. The payload is a single
+	// shed-reason byte; the reply is deliberately tiny (10 bytes) so
+	// rejecting at 2x offered load stays cheaper than serving.
+	codeOverload = 4
+	// codeExpired answers a request whose deadline passed before a decision
+	// — at admission, while parked in an admission queue, or at batch-cut
+	// time inside a coalescer. No payload.
+	codeExpired = 5
 )
+
+// Shed-reason bytes carried by codeOverload replies.
+const (
+	shedQueueFull   byte = 1
+	shedRateLimited byte = 2
+	shedSessions    byte = 3
+)
+
+// Typed ingress errors surfaced by the client for shed and expired replies.
+// ErrRateLimited wraps ErrOverload so callers can treat every shed uniformly
+// with errors.Is(err, ErrOverload) while still telling the reasons apart.
+var (
+	ErrOverload         = errors.New("netsrv: overloaded: request shed at admission")
+	ErrRateLimited      = fmt.Errorf("%w (tenant rate limit)", ErrOverload)
+	ErrSessionLimit     = fmt.Errorf("%w (session cap reached)", ErrOverload)
+	ErrDeadlineExceeded = errors.New("netsrv: request deadline exceeded before decision")
+)
+
+// shedError maps a codeOverload reason byte to its typed error.
+func shedError(payload []byte) error {
+	if len(payload) == 1 {
+		switch payload[0] {
+		case shedRateLimited:
+			return ErrRateLimited
+		case shedSessions:
+			return ErrSessionLimit
+		}
+	}
+	return ErrOverload
+}
 
 // maxFrame bounds a frame body; a commit request with the §6.1 maximum of
 // 20 rows read + 20 written is ~350 bytes, so this is generous while still
@@ -458,7 +506,45 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 	return statuses, nil
 }
 
-// statsPayloadLen is the fixed prefix of an opStats response: 24 fields of
+// envelope is the ingress header of a multiplexed request: the tenant the
+// admission layer accounts it to, the logical session it belongs to, and the
+// remaining deadline budget in microseconds at send time (0 = none). The
+// budget is relative, not an absolute wall-clock instant, so client and
+// server clocks need not agree; the server anchors it to its own clock at
+// frame receipt. A u32 of microseconds caps a deadline at ~71 minutes.
+type envelope struct {
+	tenant   byte
+	session  uint32
+	deadline uint32 // remaining budget in microseconds; 0 = none
+}
+
+// envelopeLen is the fixed size of the envelope header before the inner op.
+const envelopeLen = 1 + 4 + 4
+
+// appendEnvelope renders the envelope header followed by the inner op byte;
+// the inner payload is appended after it by the caller.
+func appendEnvelope(b []byte, env envelope, innerOp byte) []byte {
+	var hdr [envelopeLen + 1]byte
+	hdr[0] = env.tenant
+	binary.BigEndian.PutUint32(hdr[1:5], env.session)
+	binary.BigEndian.PutUint32(hdr[5:9], env.deadline)
+	hdr[9] = innerOp
+	return append(b, hdr[:]...)
+}
+
+// parseEnvelope splits an opEnvelope payload into its header, inner op and
+// inner payload. Pure slicing — the ingress fast path must not allocate.
+func parseEnvelope(b []byte) (env envelope, innerOp byte, innerPayload []byte, err error) {
+	if len(b) < envelopeLen+1 {
+		return envelope{}, 0, nil, ErrBadFrame
+	}
+	env.tenant = b[0]
+	env.session = binary.BigEndian.Uint32(b[1:5])
+	env.deadline = binary.BigEndian.Uint32(b[5:9])
+	return env, b[9], b[10:], nil
+}
+
+// statsPayloadLen is the fixed prefix of an opStats response: 30 fields of
 // 8 bytes (counters as u64, averages/ratios as IEEE-754 bits). Fields 11–14
 // are the availability counters: checkpoints written, last checkpoint
 // bound, records replayed by the last recovery, and its duration in
@@ -467,10 +553,12 @@ func decodeQueryBatchResp(b []byte) ([]oracle.TxnStatus, error) {
 // fraction of write transactions that arrived through the two-phase path.
 // Fields 20–23 are the allocation-discipline counters: open-table load
 // factor, incremental rehashes, and the server's frame-pool hits/misses.
+// Fields 24–29 are the ingress counters: admitted, shed, rate-limited,
+// expired, live sessions, and the admission queue-depth p99.
 // After the prefix an optional per-slice load histogram follows:
 // count(u32) + count×u64 — absent in legacy responses, which decodeStats
 // tolerates (SliceLoads stays nil).
-const statsPayloadLen = 24 * 8
+const statsPayloadLen = 30 * 8
 
 // appendStats renders the oracle counters in wire order.
 func appendStats(b []byte, st oracle.Stats) []byte {
@@ -490,6 +578,9 @@ func appendStats(b []byte, st oracle.Stats) []byte {
 	b = appendU64(b, uint64(st.Rehashes))
 	b = appendU64(b, uint64(st.PooledFrameHits))
 	b = appendU64(b, uint64(st.PooledFrameMisses))
+	for _, v := range []int64{st.IngressAdmitted, st.IngressShed, st.IngressRateLimited, st.IngressExpired, st.Sessions, st.QueueDepthP99} {
+		b = appendU64(b, uint64(v))
+	}
 	var n [4]byte
 	binary.BigEndian.PutUint32(n[:], uint32(len(st.SliceLoads)))
 	b = append(b, n[:]...)
@@ -546,6 +637,12 @@ func decodeStats(b []byte) (oracle.Stats, error) {
 		Rehashes:            v(21),
 		PooledFrameHits:     v(22),
 		PooledFrameMisses:   v(23),
+		IngressAdmitted:     v(24),
+		IngressShed:         v(25),
+		IngressRateLimited:  v(26),
+		IngressExpired:      v(27),
+		Sessions:            v(28),
+		QueueDepthP99:       v(29),
 	}, nil
 }
 

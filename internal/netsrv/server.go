@@ -68,6 +68,32 @@ type Server struct {
 	CoalesceMaxBatch int
 	CoalesceMaxDelay time.Duration
 
+	// Ingress, when set, puts every data-plane request through the
+	// admission gate: bounded per-tenant queues with weighted round-robin,
+	// per-tenant token buckets, a shared inflight limit and a session cap.
+	// Requests beyond the limits are shed at the frame boundary with a
+	// codeOverload reply instead of queuing forever. Set before Listen.
+	Ingress *IngressConfig
+	adm     *admitter
+
+	// IdleTimeout, when > 0, disconnects a connection that sends no frame
+	// for this long, so dead clients stop pinning goroutines (and their
+	// pooled buffers) forever. Event-stream connections are exempt — a
+	// subscriber legitimately never writes. Set before Listen.
+	IdleTimeout time.Duration
+
+	// MaxPendingBytes caps the per-connection pending write buffer: a
+	// handler whose response would grow the buffer past the cap blocks
+	// (backpressure) until the flusher drains it, and a reader that stalls
+	// the flusher longer than WriteStallTimeout is disconnected. 0 picks
+	// defaultMaxPendingBytes; set -1 for the old unbounded behavior.
+	MaxPendingBytes   int
+	WriteStallTimeout time.Duration
+
+	// sessions is the server-wide gauge of live multiplexed sessions
+	// (distinct envelope session ids across all connections).
+	sessions atomic.Int64
+
 	// ctxPool recycles per-request handler contexts (frame read buffer,
 	// decode scratch, response build buffer); poolHits/poolMisses feed the
 	// PooledFrameHits/Misses stats fields.
@@ -147,13 +173,23 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve starts accepting connections from ln — the bring-your-own-listener
+// sibling of Listen (tests inject listeners that fail Accept to exercise
+// the backoff path).
+func (s *Server) Serve(ln net.Listener) {
 	if so := s.oracle(); so != nil {
 		s.startCoalescers(so)
+	}
+	if s.Ingress != nil {
+		s.adm = newAdmitter(*s.Ingress)
 	}
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
 }
 
 // Addr returns the listening address.
@@ -164,13 +200,41 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Accept-loop backoff bounds for temporary Accept errors (EMFILE,
+// ECONNABORTED, …): the loop sleeps with exponential backoff instead of
+// either spinning or dying, and resets on the next successful accept.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			// Temporary failure (out of fds, aborted handshake): back
+			// off and keep accepting rather than killing the front door.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.logf("netsrv: accept: %v (retrying in %v)", err, backoff)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -203,6 +267,11 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	// Requests parked in the admission queues must fail before the handler
+	// drain below, or their goroutines would wait forever for a grant.
+	if s.adm != nil {
+		s.adm.close()
 	}
 	// Handlers drain first (requests parked in the coalescers still get
 	// their decisions), then the coalescer loops are stopped.
@@ -243,13 +312,47 @@ func (s *Server) dropConn(conn net.Conn) {
 // flight pile into the next pass, so a burst of coalesced-batch decisions
 // leaves the server in one flush. The two buffers ping-pong, so the steady
 // state allocates nothing.
+//
+// The pending buffer is bounded: a sender whose frame would grow it past
+// maxPending parks on the drained condition instead of appending, so a slow
+// reader exerts backpressure on its own handlers rather than growing the
+// buffer without limit. A reader that stalls the flusher's Write syscall
+// longer than stallTimeout fails the write deadline and is disconnected —
+// backpressure first, then disconnect, never OOM.
 type connWriter struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	pending  []byte
-	spare    []byte
-	flushing bool
-	err      error
+	mu         sync.Mutex
+	drained    sync.Cond // signaled when pending is swapped out or on error
+	conn       net.Conn
+	pending    []byte
+	spare      []byte
+	flushing   bool
+	err        error
+	maxPending int           // 0 = unbounded
+	stall      time.Duration // write deadline per flush pass; 0 = none
+}
+
+// defaultMaxPendingBytes bounds the per-connection pending write buffer
+// unless the server overrides it; defaultWriteStall bounds how long a flush
+// pass may sit in Write before the connection is declared dead.
+const (
+	defaultMaxPendingBytes = 4 << 20
+	defaultWriteStall      = 5 * time.Second
+)
+
+func newConnWriter(conn net.Conn, maxPending int, stall time.Duration) *connWriter {
+	if maxPending == 0 {
+		maxPending = defaultMaxPendingBytes
+	} else if maxPending < 0 {
+		maxPending = 0 // explicit opt-out: unbounded
+	}
+	if stall == 0 {
+		stall = defaultWriteStall
+	} else if stall < 0 {
+		stall = 0
+	}
+	w := &connWriter{conn: conn, maxPending: maxPending, stall: stall}
+	w.drained.L = &w.mu
+	return w
 }
 
 // maxRetainedWriteBuf caps the buffer capacity the writer keeps across
@@ -261,6 +364,13 @@ const maxRetainedWriteBuf = 1 << 20
 // flusher's caller instead (all callers of send only log).
 func (w *connWriter) send(body []byte) error {
 	w.mu.Lock()
+	// Backpressure: while another goroutine is flushing and the pending
+	// buffer is at its cap, wait for the flusher to swap it out. A frame
+	// larger than the whole cap is exempt (it must pass eventually).
+	for w.err == nil && w.flushing && w.maxPending > 0 &&
+		len(w.pending)+4+len(body) > w.maxPending && 4+len(body) <= w.maxPending {
+		w.drained.Wait()
+	}
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
@@ -276,34 +386,72 @@ func (w *connWriter) send(body []byte) error {
 		buf := w.pending
 		w.pending = w.spare[:0]
 		w.spare = nil
+		w.drained.Broadcast()
 		w.mu.Unlock()
+		if w.stall > 0 {
+			w.conn.SetWriteDeadline(time.Now().Add(w.stall))
+		}
 		_, err := w.conn.Write(buf)
 		w.mu.Lock()
 		if cap(buf) <= maxRetainedWriteBuf {
 			w.spare = buf[:0]
 		}
 		if err != nil {
+			// The reader stalled past the write deadline (or the
+			// connection broke): disconnect it so its handlers and
+			// buffers are released instead of leaking.
 			w.err = err
+			w.conn.Close()
 		}
 	}
 	w.flushing = false
+	w.drained.Broadcast()
 	err := w.err
 	w.mu.Unlock()
 	return err
 }
 
+// isDataOp reports whether op is a data-plane operation the admission gate
+// applies to; control-plane ops (health, promote, stats, routing, range
+// migration, subscribe) bypass admission so operability survives overload.
+func isDataOp(op byte) bool {
+	switch op {
+	case opBegin, opCommit, opAbort, opQuery, opForget,
+		opCommitBatch, opQueryBatch,
+		opPrepareBatch, opDecideBatch, opCommitAtBatch, opBeginBlock:
+		return true
+	}
+	return false
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
-	w := &connWriter{conn: conn}
+	w := newConnWriter(conn, s.MaxPendingBytes, s.WriteStallTimeout)
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
+	// sessions tracks the distinct multiplexed session ids this transport
+	// carries (lazily allocated — bare-frame connections never pay for it);
+	// the server-wide gauge is released when the connection drops.
+	var sessions map[uint32]struct{}
+	defer func() {
+		if n := len(sessions); n > 0 {
+			s.sessions.Add(-int64(n))
+		}
+	}()
+	maxSessions := 0
+	if s.Ingress != nil {
+		maxSessions = s.Ingress.MaxSessions
+	}
 	for {
 		ctx := s.getCtx()
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		body, err := readFrameInto(conn, ctx.body)
 		if err != nil {
 			s.putCtx(ctx)
-			return // connection closed or broken
+			return // connection closed, idle-expired or broken
 		}
 		ctx.body = body[:len(body):cap(body)]
 		reqID, op, payload, err := splitRequest(body)
@@ -312,28 +460,106 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("netsrv: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+		// Unwrap the ingress envelope: tenant + session + deadline, then
+		// the inner op. The deadline budget is anchored to this server's
+		// clock here, at frame receipt.
+		var deadline time.Time
+		tenant := 0
+		if op == opEnvelope {
+			env, innerOp, innerPayload, perr := parseEnvelope(payload)
+			if perr != nil {
+				s.putCtx(ctx)
+				s.logf("netsrv: bad envelope from %s: %v", conn.RemoteAddr(), perr)
+				return
+			}
+			if _, ok := sessions[env.session]; !ok {
+				if maxSessions > 0 && s.sessions.Load() >= int64(maxSessions) {
+					resp := append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedSessions)
+					if s.adm != nil {
+						s.adm.shed.Add(1)
+					}
+					s.sendAndRecycle(w, conn, ctx, resp)
+					continue
+				}
+				if sessions == nil {
+					sessions = make(map[uint32]struct{}, 8)
+				}
+				sessions[env.session] = struct{}{}
+				s.sessions.Add(1)
+			}
+			op, payload = innerOp, innerPayload
+			if env.deadline > 0 {
+				deadline = time.Now().Add(time.Duration(env.deadline) * time.Microsecond)
+			}
+			if s.adm != nil {
+				tenant = s.adm.clampTenant(env.tenant)
+			}
+		}
 		if op == opSubscribe {
 			// The connection becomes a one-way event stream; handle
 			// inline and stop reading requests. The context is released
 			// only after the stream ends — payload aliases ctx.body.
+			// Idle disconnection does not apply to a subscriber.
+			conn.SetReadDeadline(time.Time{})
 			s.streamEvents(conn, w, reqID, payload)
 			s.putCtx(ctx)
 			return
 		}
-		handlers.Add(1)
-		go func() {
-			defer handlers.Done()
-			resp := s.handle(ctx, reqID, op, payload)
-			if err := w.send(resp); err != nil {
-				s.logf("netsrv: write to %s: %v", conn.RemoteAddr(), err)
+		// The admission decision happens here, at the frame boundary, on
+		// the connection's read goroutine: shedding costs one counter bump
+		// and a 10-byte reply — no handler goroutine, no oracle work, no
+		// allocation (the reply is built into the pooled context).
+		mustWait := false
+		gated := s.adm != nil && isDataOp(op)
+		if gated {
+			switch s.adm.tryAdmit(tenant, deadline) {
+			case admitOK:
+			case admitWait:
+				mustWait = true
+			case admitExpired:
+				s.sendAndRecycle(w, conn, ctx, appendRespHdr(ctx.resp[:0], reqID, codeExpired))
+				continue
+			case admitRated:
+				s.sendAndRecycle(w, conn, ctx, append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedRateLimited))
+				continue
+			default: // admitShed
+				s.sendAndRecycle(w, conn, ctx, append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedQueueFull))
+				continue
 			}
-			// send copied resp into the connection's pending buffer, so
-			// the context (and the decode scratch the response may alias)
-			// is free for the next frame.
-			ctx.resp = resp[:0:cap(resp)]
-			s.putCtx(ctx)
-		}()
+		}
+		handlers.Add(1)
+		go func(tenant int, deadline time.Time, mustWait, gated bool) {
+			defer handlers.Done()
+			if gated {
+				if mustWait {
+					switch s.adm.wait(tenant, deadline) {
+					case admitOK:
+					case admitExpired:
+						s.sendAndRecycle(w, conn, ctx, appendRespHdr(ctx.resp[:0], reqID, codeExpired))
+						return
+					default: // closed while parked
+						s.sendAndRecycle(w, conn, ctx, append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedQueueFull))
+						return
+					}
+				}
+				defer s.adm.release()
+			}
+			resp := s.handle(ctx, reqID, op, payload, deadline)
+			s.sendAndRecycle(w, conn, ctx, resp)
+		}(tenant, deadline, mustWait, gated)
 	}
+}
+
+// sendAndRecycle hands one response to the connection writer and returns the
+// handler context to the pool (send copies resp into the connection's
+// pending buffer, so the context and any decode scratch the response
+// aliases are free for the next frame).
+func (s *Server) sendAndRecycle(w *connWriter, conn net.Conn, ctx *handlerCtx, resp []byte) {
+	if err := w.send(resp); err != nil {
+		s.logf("netsrv: write to %s: %v", conn.RemoteAddr(), err)
+	}
+	ctx.resp = resp[:0:cap(resp)]
+	s.putCtx(ctx)
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -344,9 +570,19 @@ func (s *Server) logf(format string, args ...interface{}) {
 
 // handle dispatches one request and returns the response body, built into
 // ctx.resp (error responses allocate; they are off the steady-state path).
-func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) []byte {
+// deadline, when non-zero, is the request's absolute expiry: work that has
+// already expired is answered codeExpired without touching the oracle, and
+// the coalesced paths carry it into the batcher so a request that expires
+// while parked is dropped at batch-cut time.
+func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, deadline time.Time) []byte {
 	so := s.oracle()
 	ok := appendRespHdr(ctx.resp[:0], reqID, codeOK)
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if s.adm != nil {
+			s.adm.expired.Add(1)
+		}
+		return appendRespHdr(ctx.resp[:0], reqID, codeExpired)
+	}
 	switch op {
 	case opHealth:
 		role := roleStandby
@@ -374,12 +610,12 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 		}
 		var res oracle.CommitResult
 		if c := s.coal.Load(); c != nil {
-			res, err = c.submit(ctx.single)
+			res, err = c.submit(ctx.single, deadline)
 		} else {
 			res, err = so.Commit(ctx.single)
 		}
 		if err != nil {
-			return respError(reqID, err)
+			return s.respMaybeExpired(ctx, reqID, err)
 		}
 		return encodeCommitResult(ok, res)
 	case opCommitBatch:
@@ -410,9 +646,9 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 		}
 		var st oracle.TxnStatus
 		if c := s.qcoal.Load(); c != nil {
-			st, err = c.submit(ts)
+			st, err = c.submit(ts, deadline)
 			if err != nil {
-				return respError(reqID, err)
+				return s.respMaybeExpired(ctx, reqID, err)
 			}
 		} else {
 			st = so.Query(ts)
@@ -489,6 +725,14 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 		st := so.Stats()
 		st.PooledFrameHits = s.poolHits.Load()
 		st.PooledFrameMisses = s.poolMisses.Load()
+		st.Sessions = s.sessions.Load()
+		if a := s.adm; a != nil {
+			st.IngressAdmitted = a.admitted.Load()
+			st.IngressShed = a.shed.Load()
+			st.IngressRateLimited = a.rateLimited.Load()
+			st.IngressExpired = a.expired.Load()
+			st.QueueDepthP99 = a.depthP99()
+		}
 		return appendStats(ok, st)
 	case opRouting:
 		rt := s.Routing()
@@ -543,6 +787,20 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte) 
 	default:
 		return respError(reqID, errors.New("unknown operation"))
 	}
+}
+
+// respMaybeExpired renders a coalescer error: a request the batcher dropped
+// at batch-cut time because its deadline passed answers codeExpired (built
+// into the pooled context — expiry under overload is a steady-state path, so
+// it must not allocate); anything else is a plain error reply.
+func (s *Server) respMaybeExpired(ctx *handlerCtx, reqID uint64, err error) []byte {
+	if errors.Is(err, oracle.ErrExpired) {
+		if s.adm != nil {
+			s.adm.expired.Add(1)
+		}
+		return appendRespHdr(ctx.resp[:0], reqID, codeExpired)
+	}
+	return respError(reqID, err)
 }
 
 // ErrMisrouted reports rows sent to a partition that does not own them.

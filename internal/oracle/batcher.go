@@ -9,10 +9,19 @@ import (
 // ErrBatcherStopped reports a request submitted to a stopped Batcher.
 var ErrBatcherStopped = errors.New("oracle: batcher stopped")
 
-// batcherItem is one request parked in a Batcher.
+// ErrExpired reports a request whose deadline passed before its batch was
+// decided: the batcher drops it when the batch is cut, so expired work never
+// occupies a slot in the decide call (and, upstream, never reaches the WAL
+// group commit). The ingress layer renders it as a deadline-exceeded reply.
+var ErrExpired = errors.New("oracle: request deadline expired before decision")
+
+// batcherItem is one request parked in a Batcher. deadline is the absolute
+// expiry in nanoseconds (time.Time.UnixNano; 0 = none): carrying it as an
+// int64 keeps the comparison at batch-cut time to one load.
 type batcherItem[Q, R any] struct {
-	req  Q
-	done func(R, error)
+	req      Q
+	deadline int64
+	done     func(R, error)
 }
 
 // Batcher is the shared accumulation loop behind every coalescing layer —
@@ -53,6 +62,23 @@ func NewBatcher[Q, R any](decide func([]Q) ([]R, error), maxBatch int, maxDelay 
 // Submit parks one request; done is invoked exactly once, from a batcher
 // goroutine (or inline after Stop), when the decision is in.
 func (b *Batcher[Q, R]) Submit(req Q, done func(R, error)) {
+	b.SubmitDeadline(req, time.Time{}, done)
+}
+
+// SubmitDeadline parks one request carrying an absolute deadline (zero =
+// none). A request whose deadline has already passed fails inline with
+// ErrExpired; one that expires while parked is dropped when its batch is
+// cut, before the decide call sees it.
+func (b *Batcher[Q, R]) SubmitDeadline(req Q, deadline time.Time, done func(R, error)) {
+	var dl int64
+	if !deadline.IsZero() {
+		dl = deadline.UnixNano()
+		if time.Now().UnixNano() >= dl {
+			var zero R
+			done(zero, ErrExpired)
+			return
+		}
+	}
 	// The closed flag is checked under a read lock so no send can race
 	// past Stop: Stop flips the flag under the write lock before closing
 	// quit, and the loop drains the channel on quit, so every request
@@ -64,19 +90,26 @@ func (b *Batcher[Q, R]) Submit(req Q, done func(R, error)) {
 		done(zero, ErrBatcherStopped)
 		return
 	}
-	b.items <- batcherItem[Q, R]{req: req, done: done}
+	b.items <- batcherItem[Q, R]{req: req, deadline: dl, done: done}
 	b.mu.RUnlock()
 }
 
 // SubmitWait parks one request and blocks until its batch's decision is in
 // — the synchronous shape every per-frame server handler needs.
 func (b *Batcher[Q, R]) SubmitWait(req Q) (R, error) {
+	return b.SubmitWaitDeadline(req, time.Time{})
+}
+
+// SubmitWaitDeadline is SubmitWait with an expiry: the request is dropped
+// with ErrExpired — without occupying a decide slot — if the deadline passes
+// before its batch is cut.
+func (b *Batcher[Q, R]) SubmitWaitDeadline(req Q, deadline time.Time) (R, error) {
 	type outcome struct {
 		res R
 		err error
 	}
 	done := make(chan outcome, 1)
-	b.Submit(req, func(res R, err error) {
+	b.SubmitDeadline(req, deadline, func(res R, err error) {
 		done <- outcome{res: res, err: err}
 	})
 	o := <-done
@@ -151,20 +184,41 @@ func (b *Batcher[Q, R]) loop() {
 	}
 }
 
-// run decides one batch and fans the results out.
+// run decides one batch and fans the results out. Items whose deadline
+// passed while parked are failed with ErrExpired here, before the decide
+// call — expired work is shed at the cut, never occupying a batch slot.
 func (b *Batcher[Q, R]) run(items []batcherItem[Q, R]) {
-	reqs := make([]Q, len(items))
+	var zero R
+	reqs := make([]Q, 0, len(items))
+	var now int64
 	for i := range items {
-		reqs[i] = items[i].req
+		if dl := items[i].deadline; dl != 0 {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			if now >= dl {
+				items[i].done(zero, ErrExpired)
+				items[i].done = nil
+				continue
+			}
+		}
+		reqs = append(reqs, items[i].req)
+	}
+	if len(reqs) == 0 {
+		return
 	}
 	results, err := b.decide(reqs)
-	var zero R
+	next := 0
 	for i := range items {
+		if items[i].done == nil {
+			continue
+		}
 		if err != nil {
 			items[i].done(zero, err)
 		} else {
-			items[i].done(results[i], nil)
+			items[i].done(results[next], nil)
 		}
+		next++
 	}
 }
 

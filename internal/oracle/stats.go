@@ -73,6 +73,22 @@ type Stats struct {
 	Rehashes          int64
 	PooledFrameHits   int64
 	PooledFrameMisses int64
+	// Ingress counters, filled in by the network server when stats travel
+	// over the wire (zero in-process). IngressAdmitted counts data-plane
+	// requests that passed admission, IngressShed the ones rejected at the
+	// frame boundary because their tenant's bounded queue was full (or the
+	// session cap was hit), IngressRateLimited the ones rejected by their
+	// tenant's token bucket, and IngressExpired the ones dropped because
+	// their deadline passed — at admission, while queued, or at batch-cut
+	// time inside the coalescers. Sessions is the server's current count of
+	// live multiplexed sessions, and QueueDepthP99 the 99th percentile of
+	// the admission queue depth sampled at each admit.
+	IngressAdmitted    int64
+	IngressShed        int64
+	IngressRateLimited int64
+	IngressExpired     int64
+	Sessions           int64
+	QueueDepthP99      int64
 	// SliceLoads is the per-key-range write-load histogram (LoadBuckets
 	// cumulative counters over Config.LoadSpan): every submitted write row
 	// of the commit, one-shot and prepare paths increments its range's

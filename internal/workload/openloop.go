@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpenLoop is an open-loop arrival schedule: arrival i is due at start +
+// i/rate, fixed when the schedule is created and independent of how fast the
+// system under test answers. Closed-loop load generators cannot measure
+// overload — each worker waits for its previous response, so the offered
+// rate politely degrades to whatever the system sustains and the queueing
+// delay disappears from the numbers (coordinated omission). An open-loop
+// schedule keeps offering at the configured rate, and latency measured from
+// the scheduled arrival time (not from when a worker got around to sending)
+// charges the system for every millisecond a request spent waiting to be
+// offered, queued, or served.
+//
+// Any number of workers share one schedule: each Take claims the next
+// arrival index and its due time, sleeps until due, fires, and measures
+// from due.
+type OpenLoop struct {
+	start    time.Time
+	interval time.Duration
+	next     atomic.Int64
+}
+
+// NewOpenLoop starts a schedule offering rate arrivals per second from now.
+func NewOpenLoop(rate float64) *OpenLoop {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &OpenLoop{
+		start:    time.Now(),
+		interval: time.Duration(float64(time.Second) / rate),
+	}
+}
+
+// Take claims the next arrival and returns its scheduled due time.
+func (o *OpenLoop) Take() time.Time {
+	i := o.next.Add(1) - 1
+	return o.start.Add(time.Duration(i) * o.interval)
+}
+
+// Wait sleeps until due; a worker running behind schedule (the interesting
+// case under overload) returns immediately and the lateness lands in the
+// measured latency.
+func (o *OpenLoop) Wait(due time.Time) {
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Offered reports how many arrivals were due by t (the denominator an
+// overload experiment measures goodput against).
+func (o *OpenLoop) Offered(t time.Time) int64 {
+	if t.Before(o.start) {
+		return 0
+	}
+	return int64(t.Sub(o.start) / o.interval)
+}

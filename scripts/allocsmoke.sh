@@ -6,7 +6,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=$(go test -run=NONE -bench 'BenchmarkCommitBatch|BenchmarkQueryBatch' -benchmem -benchtime 5000x .)
+out=$(go test -run=NONE -bench 'BenchmarkCommitBatch|BenchmarkQueryBatch' -benchmem -benchtime 5000x .
+      go test -run=NONE -bench 'BenchmarkAdmissionDecision' -benchmem -benchtime 5000x ./internal/netsrv)
 echo "$out"
 echo "---"
 echo "$out" | awk '
