@@ -59,10 +59,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ha"
+	"repro/internal/metrics"
 	"repro/internal/netsrv"
 	"repro/internal/oracle"
 	"repro/internal/partition"
@@ -79,7 +81,12 @@ func main() {
 		shards  = flag.Int("shards", 1, "critical-section shards (1 = paper's implementation)")
 		table   = flag.String("table", "open", "lastCommit storage: open (open-addressed, zero-allocation) or map (reference)")
 		fsync   = flag.Bool("fsync", true, "fsync each WAL batch (with -wal)")
-		pprof   = flag.String("pprof", "", "listen address for net/http/pprof (empty: disabled), e.g. 127.0.0.1:6060")
+
+		debugAddr   = flag.String("debug-addr", "", "listen address for the debug HTTP plane: /metrics (Prometheus text), /vars (JSON), /debug/pprof (empty: disabled), e.g. 127.0.0.1:6060")
+		slowMS      = flag.Float64("slow-ms", 0, "log a structured exemplar for requests slower than this many milliseconds end-to-end (0 = off)")
+		traceSample = flag.Int("trace-sample", 100, "log 1 in N slow requests over -slow-ms (1 = every slow request)")
+		noTrace     = flag.Bool("no-trace", false, "disable hot-path lifecycle tracing (per-stage histograms stay empty)")
+		statsEvery  = flag.Duration("stats-every", 0, "log an oracle/ingress stats summary this often, with per-tenant admission breakdown (0 = off)")
 
 		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
 		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
@@ -103,6 +110,9 @@ func main() {
 		routerSpec  = flag.String("router", "hash", "row router of the partitioned deployment: hash, range, range:s1,s2,..., or map:... (with -partitions > 1)")
 		loadSpan    = flag.Uint64("loadspan", 0, "row-id span of the per-slice load histogram the rebalancer reads (0 = full 64-bit space); set to the workload's row count")
 	)
+	// -pprof predates the metrics plane; it is kept as an alias so existing
+	// start scripts keep their profiler.
+	flag.StringVar(debugAddr, "pprof", "", "deprecated alias for -debug-addr")
 	flag.Parse()
 
 	var eng oracle.Engine
@@ -121,17 +131,6 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := oracle.Config{Engine: eng, Table: kind, MaxRows: *maxRows, Shards: *shards, LoadSpan: *loadSpan}
-
-	if *pprof != "" {
-		// Live profiling of the serving process (allocation regressions on
-		// the hot path show up in /debug/pprof/allocs).
-		go func() {
-			log.Printf("oracle-server: pprof listening on http://%s/debug/pprof/", *pprof)
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				log.Printf("oracle-server: pprof: %v", err)
-			}
-		}()
-	}
 
 	// Partitioned deployment: this server owns one key slice of a
 	// -partitions-wide status oracle. The router must match the one the
@@ -164,14 +163,102 @@ func main() {
 		maxPending:  *maxPending,
 	}
 
+	obs := obsFlags{
+		debugAddr:   *debugAddr,
+		slow:        time.Duration(*slowMS * float64(time.Millisecond)),
+		traceSample: *traceSample,
+		noTrace:     *noTrace,
+		statsEvery:  *statsEvery,
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *standby {
-		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ing, role, sig)
+		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ing, obs, role, sig)
 		return
 	}
-	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, ing, role, sig)
+	runPrimary(cfg, *addr, *walPath, *fsync, *ckptInterval, *coalesce, *coalesceDelay, ing, obs, role, sig)
+}
+
+// obsFlags carries the observability knobs: the debug HTTP plane address,
+// slow-request exemplar logging, the tracing kill switch, and periodic
+// stats logging.
+type obsFlags struct {
+	debugAddr   string
+	slow        time.Duration
+	traceSample int
+	noTrace     bool
+	statsEvery  time.Duration
+}
+
+// apply installs the tracing knobs on a server (before Serve).
+func (o obsFlags) apply(srv *netsrv.Server) {
+	srv.SlowThreshold = o.slow
+	srv.TraceSample = o.traceSample
+	srv.DisableTracing = o.noTrace
+	if o.slow > 0 {
+		log.Printf("oracle-server: logging 1 in %d requests slower than %v", max(o.traceSample, 1), o.slow)
+	}
+}
+
+// start launches the debug HTTP plane and the periodic stats logger against
+// the server's (now materialized) registry. Call after Listen.
+func (o obsFlags) start(srv *netsrv.Server) {
+	reg := srv.Registry()
+	if o.debugAddr != "" {
+		// net/http/pprof registers on the default mux at import; /metrics
+		// and /vars join it so one listener serves profiles and metrics.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			metrics.WritePrometheus(w, reg.Gather())
+		})
+		http.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			metrics.WriteJSON(w, reg.Gather())
+		})
+		go func() {
+			log.Printf("oracle-server: debug plane on http://%s/ (/metrics, /vars, /debug/pprof)", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, nil); err != nil {
+				log.Printf("oracle-server: debug listener: %v", err)
+			}
+		}()
+	}
+	if o.statsEvery > 0 {
+		go func() {
+			for range time.Tick(o.statsEvery) {
+				logStats(reg)
+			}
+		}()
+	}
+}
+
+// logStats renders a periodic one-glance summary from the registry: headline
+// oracle counters, then the per-tenant ingress breakdown.
+func logStats(reg *metrics.Registry) {
+	samples := reg.Gather()
+	get := func(name string) int64 {
+		for _, s := range samples {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	log.Printf("oracle-server: stats commits=%d aborts=%d queries=%d batches=%d sessions=%d",
+		get("oracle_commits_total"),
+		get("oracle_conflict_aborts_total")+get("oracle_tmax_aborts_total")+get("oracle_explicit_aborts_total"),
+		get("oracle_queries_total"), get("oracle_commit_batches_total"), get("netsrv_sessions"))
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, `netsrv_ingress_admitted_total{tenant=`) {
+			tenant := strings.TrimSuffix(strings.TrimPrefix(s.Name, `netsrv_ingress_admitted_total{tenant="`), `"}`)
+			log.Printf("oracle-server: ingress tenant=%s admitted=%d shed=%d rate_limited=%d expired=%d",
+				tenant, s.Value,
+				get(`netsrv_ingress_shed_total{tenant="`+tenant+`"}`),
+				get(`netsrv_ingress_rate_limited_total{tenant="`+tenant+`"}`),
+				get(`netsrv_ingress_expired_total{tenant="`+tenant+`"}`))
+		}
+	}
 }
 
 // ingressFlags carries the front-door knobs shared by primary and standby.
@@ -233,7 +320,7 @@ func configureCoalescing(srv *netsrv.Server, coalesce int, delay time.Duration) 
 	}
 }
 
-func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, role *partitionRole, sig chan os.Signal) {
+func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterval time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, obs obsFlags, role *partitionRole, sig chan os.Signal) {
 	var (
 		so     *oracle.StatusOracle
 		writer *wal.Writer
@@ -278,10 +365,15 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	ing.apply(srv)
+	obs.apply(srv)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)
 	}
+	if writer != nil {
+		srv.Registry().Register(writer.MetricsSource())
+	}
+	obs.start(srv)
 	log.Printf("oracle-server: %s engine serving on %s", cfg.Engine, bound)
 
 	<-sig
@@ -309,7 +401,7 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	}
 }
 
-func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, role *partitionRole, sig chan os.Signal) {
+func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, obs obsFlags, role *partitionRole, sig chan os.Signal) {
 	if follow == "" {
 		log.Fatalf("oracle-server: -standby requires -follow <primary wal>")
 	}
@@ -330,7 +422,8 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 
 	var promotedWriter *wal.Writer
 	var promotedSO *oracle.StatusOracle
-	srv := netsrv.NewStandbyServer(func() (*oracle.StatusOracle, error) {
+	var srv *netsrv.Server
+	srv = netsrv.NewStandbyServer(func() (*oracle.StatusOracle, error) {
 		// Fence the primary through a read-write handle on its ledger
 		// file: the durable seal marker fails the primary's next append
 		// even though it is a separate process.
@@ -355,6 +448,9 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 			return nil, err
 		}
 		promotedWriter, promotedSO = w, so
+		if w != nil {
+			srv.Registry().Register(w.MetricsSource())
+		}
 		records, tsoBound := sb.Applied()
 		log.Printf("oracle-server: promoted to primary: %d records inherited, timestamp epoch resumes at %d", records, tsoBound)
 		return so, nil
@@ -362,10 +458,13 @@ func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pol
 	role.apply(srv)
 	configureCoalescing(srv, coalesce, coalesceDelay)
 	ing.apply(srv)
+	obs.apply(srv)
 	boundAddr, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("oracle-server: listen: %v", err)
 	}
+	srv.Registry().Register(sb.MetricsSource())
+	obs.start(srv)
 	log.Printf("oracle-server: %s engine hot standby on %s, tailing %s (promote to serve)", cfg.Engine, boundAddr, follow)
 
 	<-sig

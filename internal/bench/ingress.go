@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsrv"
 	"repro/internal/oracle"
 	"repro/internal/tso"
@@ -62,6 +63,46 @@ type ingressPhase struct {
 	SrvExpired  int64   `json:"srv_expired"`   //
 	Sessions    int64   `json:"srv_sessions"`  //
 	QueueP99    int64   `json:"srv_queue_p99"` //
+	// Per-tenant view from the self-describing metrics plane (cumulative
+	// over the phase, warmup included — unlike the Srv* window diffs).
+	SrvTenants []ingressTenant `json:"srv_tenants,omitempty"`
+}
+
+// ingressTenant is one tenant's admission breakdown, read over opMetrics.
+type ingressTenant struct {
+	Tenant      string `json:"tenant"`
+	Admitted    int64  `json:"admitted"`
+	Shed        int64  `json:"shed"`
+	RateLimited int64  `json:"rate_limited"`
+	Expired     int64  `json:"expired"`
+}
+
+// tenantBreakdown extracts the per-tenant ingress counters from a metrics
+// gather.
+func tenantBreakdown(samples []metrics.Sample) []ingressTenant {
+	get := func(name string) int64 {
+		for _, s := range samples {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	var out []ingressTenant
+	for _, s := range samples {
+		if !strings.HasPrefix(s.Name, `netsrv_ingress_admitted_total{tenant=`) {
+			continue
+		}
+		tenant := strings.TrimSuffix(strings.TrimPrefix(s.Name, `netsrv_ingress_admitted_total{tenant="`), `"}`)
+		out = append(out, ingressTenant{
+			Tenant:      tenant,
+			Admitted:    s.Value,
+			Shed:        get(`netsrv_ingress_shed_total{tenant="` + tenant + `"}`),
+			RateLimited: get(`netsrv_ingress_rate_limited_total{tenant="` + tenant + `"}`),
+			Expired:     get(`netsrv_ingress_expired_total{tenant="` + tenant + `"}`),
+		})
+	}
+	return out
 }
 
 // ingressReport is the BENCH_ingress.json schema.
@@ -333,6 +374,9 @@ func ingressOverload(offeredTPS float64, shedding bool, measure time.Duration) (
 	if err != nil {
 		return ingressPhase{}, err
 	}
+	if samples, err := c.Metrics(); err == nil {
+		ph.SrvTenants = tenantBreakdown(samples)
+	}
 	stop.Do(func() { close(stopped) })
 	wg.Wait()
 
@@ -424,6 +468,10 @@ func init() {
 				rep.GoodputRatio*100, rep.P99Ratio)
 			fmt.Fprintf(&b, "server view (bounded phase): admitted=%d shed=%d expired=%d sessions=%d queue-depth p99=%d\n",
 				on.SrvAdmitted, on.SrvShed, on.SrvExpired, on.Sessions, on.QueueP99)
+			for _, tn := range on.SrvTenants {
+				fmt.Fprintf(&b, "  tenant=%s admitted=%d shed=%d rate_limited=%d expired=%d\n",
+					tn.Tenant, tn.Admitted, tn.Shed, tn.RateLimited, tn.Expired)
+			}
 
 			// The two regressions this experiment exists to catch: the
 			// admission layer failing to protect goodput under overload, and

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/tso"
 	"repro/internal/wal"
@@ -315,4 +316,20 @@ func (s *Standby) Promote(pc PromoteConfig) (*oracle.StatusOracle, error) {
 	}
 	s.promoted = true
 	return s.shadow, nil
+}
+
+// MetricsSource adapts the standby's tailing progress to the metrics
+// registry: records applied, the TSO bound the shadow has reached, and
+// whether the tail loop has latched an error.
+func (s *Standby) MetricsSource() metrics.Source {
+	return func(emit func(metrics.Sample)) {
+		records, bound := s.Applied()
+		emit(metrics.C("ha_standby_applied_records", records))
+		emit(metrics.G("ha_standby_tso_bound", float64(bound)))
+		failed := 0.0
+		if s.Err() != nil {
+			failed = 1
+		}
+		emit(metrics.G("ha_standby_tail_failed", failed))
+	}
 }

@@ -67,6 +67,19 @@ func bucketLow(i int) int64 {
 	return int64(sub) << uint(mag)
 }
 
+// bucketMid returns the midpoint of bucket i's value range, the least-biased
+// single representative for a quantile that lands in the bucket. Buckets in
+// the linear range (< subBuckets) hold exactly one value, so the midpoint is
+// exact there.
+func bucketMid(i int) int64 {
+	low := bucketLow(i)
+	if i+1 >= maxMagnitude*subBuckets {
+		return low
+	}
+	high := bucketLow(i+1) - 1
+	return low + (high-low)/2
+}
+
 // Record adds one sample.
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
@@ -122,7 +135,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i := range h.counts {
 		seen += h.counts[i]
 		if seen >= rank {
-			v := bucketLow(i)
+			// Report the winning bucket's midpoint: bucketLow would
+			// systematically under-report by up to one bucket width.
+			v := bucketMid(i)
 			if v < h.min {
 				v = h.min
 			}

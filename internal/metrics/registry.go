@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind tags a Sample's value shape on the wire and in exposition.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing int64.
+	KindCounter Kind = 1
+	// KindGauge is an instantaneous float64.
+	KindGauge Kind = 2
+	// KindHistogram is a distribution summary (count/sum/min/max/quantiles).
+	KindHistogram Kind = 3
+)
+
+// HistogramSummary is the fixed projection of a histogram that crosses the
+// wire: cheap to encode, enough to alert on.
+type HistogramSummary struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	P50   int64
+	P90   int64
+	P99   int64
+	P999  int64
+}
+
+// Sample is one named metric observation. Names follow Prometheus
+// conventions and may embed labels directly: `netsrv_ingress_admitted_total`
+// or `netsrv_ingress_admitted_total{tenant="0"}`. Exactly one of Value
+// (counters), Gauge (gauges), or Hist (histograms) is meaningful, selected
+// by Kind.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value int64
+	Gauge float64
+	Hist  HistogramSummary
+}
+
+// C builds a counter sample.
+func C(name string, v int64) Sample {
+	return Sample{Name: name, Kind: KindCounter, Value: v}
+}
+
+// G builds a gauge sample.
+func G(name string, v float64) Sample {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	return Sample{Name: name, Kind: KindGauge, Gauge: v}
+}
+
+// H builds a histogram sample from a plain Histogram snapshot.
+func H(name string, h *Histogram) Sample {
+	return Sample{Name: name, Kind: KindHistogram, Hist: HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}}
+}
+
+// HAtomic builds a histogram sample from an AtomicHistogram.
+func HAtomic(name string, h *AtomicHistogram) Sample {
+	snap := h.Snapshot()
+	return H(name, &snap)
+}
+
+// Source emits a subsystem's current samples. Sources are called at gather
+// time (control plane), never on the request hot path, so they may take
+// locks and allocate freely.
+type Source func(emit func(Sample))
+
+// Registry is the self-describing metrics plane: subsystems (oracle, netsrv,
+// wal, ha, partition) register named sources once at startup, and every
+// consumer — the opMetrics wire op, /metrics, /vars, periodic stats logging —
+// gathers the same sample set. Adding a metric is adding an emit call; the
+// length-prefixed wire encoding (AppendSamples) means no consumer, old or
+// new, needs a format change.
+type Registry struct {
+	mu      sync.Mutex
+	sources []Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a source. Safe for concurrent use; sources registered after
+// a Gather simply appear in the next one.
+func (r *Registry) Register(src Source) {
+	if src == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sources = append(r.sources, src)
+	r.mu.Unlock()
+}
+
+// Gather invokes every source and returns the combined samples sorted by
+// name, so consumers see a stable order regardless of registration order.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	srcs := make([]Source, len(r.sources))
+	copy(srcs, r.sources)
+	r.mu.Unlock()
+	var out []Sample
+	for _, src := range srcs {
+		src(func(s Sample) { out = append(out, s) })
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

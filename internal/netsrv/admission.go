@@ -2,9 +2,12 @@ package netsrv
 
 import (
 	"math/bits"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // IngressConfig bounds what the front door lets through to the oracle.
@@ -53,7 +56,11 @@ const (
 // power-of-two resolution and zero allocation.
 const depthBuckets = 32
 
-// tenantQ is one tenant's admission state.
+// tenantQ is one tenant's admission state. The verdict counters and the
+// queue-depth histogram live here, per tenant, so the ingress breakdown the
+// operator sees is keyed by admission class; the aggregate opStats fields
+// are computed by summing on read. The hot path still pays exactly one
+// atomic add per verdict.
 type tenantQ struct {
 	bucket  tokenBucket
 	weight  int
@@ -61,6 +68,12 @@ type tenantQ struct {
 	waiting int // parked requests, guarded by admitter.mu
 	grants  int // wakeups issued but not yet consumed, guarded by admitter.mu
 	cond    *sync.Cond
+
+	admitted    atomic.Int64
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	expired     atomic.Int64
+	depthHist   [depthBuckets]atomic.Int64
 }
 
 // admitter is the server's admission gate: a shared inflight limit, bounded
@@ -76,13 +89,6 @@ type admitter struct {
 	queueCap    int
 	tenants     []tenantQ
 	closed      bool
-
-	admitted    atomic.Int64
-	shed        atomic.Int64
-	rateLimited atomic.Int64
-	expired     atomic.Int64
-
-	depthHist [depthBuckets]atomic.Int64
 }
 
 func newAdmitter(cfg IngressConfig) *admitter {
@@ -137,29 +143,29 @@ func (a *admitter) clampTenant(t byte) int {
 func (a *admitter) tryAdmit(tenant int, deadline time.Time) int {
 	t := &a.tenants[tenant]
 	if !deadline.IsZero() && !time.Now().Before(deadline) {
-		a.expired.Add(1)
+		t.expired.Add(1)
 		return admitExpired
 	}
 	if t.bucket.rate > 0 && !t.bucket.take() {
-		a.rateLimited.Add(1)
+		t.rateLimited.Add(1)
 		return admitRated
 	}
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
-		a.shed.Add(1)
+		t.shed.Add(1)
 		return admitShed
 	}
-	a.depthHist[bits.Len64(uint64(t.waiting))].Add(1)
+	t.depthHist[bits.Len64(uint64(t.waiting))].Add(1)
 	if a.inflight < a.maxInflight && t.waiting == 0 {
 		a.inflight++
 		a.mu.Unlock()
-		a.admitted.Add(1)
+		t.admitted.Add(1)
 		return admitOK
 	}
 	if t.waiting >= a.queueCap {
 		a.mu.Unlock()
-		a.shed.Add(1)
+		t.shed.Add(1)
 		return admitShed
 	}
 	t.waiting++
@@ -186,7 +192,7 @@ func (a *admitter) wait(tenant int, deadline time.Time) int {
 	t.waiting--
 	if a.closed {
 		a.mu.Unlock()
-		a.shed.Add(1)
+		t.shed.Add(1)
 		return admitShed
 	}
 	// The grant transferred the releasing request's inflight slot to us.
@@ -195,11 +201,11 @@ func (a *admitter) wait(tenant int, deadline time.Time) int {
 		// of consuming it.
 		a.releaseLocked()
 		a.mu.Unlock()
-		a.expired.Add(1)
+		t.expired.Add(1)
 		return admitExpired
 	}
 	a.mu.Unlock()
-	a.admitted.Add(1)
+	t.admitted.Add(1)
 	return admitOK
 }
 
@@ -247,23 +253,36 @@ func (a *admitter) close() {
 	a.mu.Unlock()
 }
 
-// depthP99 computes the 99th percentile of the admission queue depth over
-// all samples recorded so far (bucket lower bounds, power-of-two
-// resolution).
-func (a *admitter) depthP99() int64 {
-	var counts [depthBuckets]int64
+// totals sums the per-tenant verdict counters into the aggregates the frozen
+// opStats payload carries.
+func (a *admitter) totals() (admitted, shed, rateLimited, expired int64) {
+	for i := range a.tenants {
+		t := &a.tenants[i]
+		admitted += t.admitted.Load()
+		shed += t.shed.Load()
+		rateLimited += t.rateLimited.Load()
+		expired += t.expired.Load()
+	}
+	return
+}
+
+// depthQuantile computes the q-quantile of a power-of-two depth histogram
+// (bucket lower bounds).
+func depthQuantile(counts *[depthBuckets]int64, q float64) int64 {
 	var total int64
-	for i := range a.depthHist {
-		counts[i] = a.depthHist[i].Load()
-		total += counts[i]
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
 		return 0
 	}
-	rank := total - total/100 // ceil(0.99 * total) within one sample
+	rank := total - int64(float64(total)*(1-q)) // ceil(q * total) within one sample
+	if rank < 1 {
+		rank = 1
+	}
 	var seen int64
-	for i := range counts {
-		seen += counts[i]
+	for i, c := range counts {
+		seen += c
 		if seen >= rank {
 			if i == 0 {
 				return 0
@@ -272,6 +291,46 @@ func (a *admitter) depthP99() int64 {
 		}
 	}
 	return int64(1) << (depthBuckets - 1)
+}
+
+// tenantDepth loads tenant i's depth histogram into counts.
+func (a *admitter) tenantDepth(i int, counts *[depthBuckets]int64) {
+	t := &a.tenants[i]
+	for j := range t.depthHist {
+		counts[j] = t.depthHist[j].Load()
+	}
+}
+
+// depthP99 computes the 99th percentile of the admission queue depth over
+// all tenants' samples (bucket lower bounds, power-of-two resolution) — the
+// aggregate the frozen opStats payload carries.
+func (a *admitter) depthP99() int64 {
+	var counts [depthBuckets]int64
+	for i := range a.tenants {
+		t := &a.tenants[i]
+		for j := range t.depthHist {
+			counts[j] += t.depthHist[j].Load()
+		}
+	}
+	return depthQuantile(&counts, 0.99)
+}
+
+// metricsInto emits the per-tenant ingress breakdown: verdict counters and
+// queue-depth quantiles, one series per tenant, labeled by admission class.
+// Gather-time only — never on the admit path.
+func (a *admitter) metricsInto(emit func(metrics.Sample)) {
+	var counts [depthBuckets]int64
+	for i := range a.tenants {
+		t := &a.tenants[i]
+		label := `{tenant="` + strconv.Itoa(i) + `"}`
+		emit(metrics.C("netsrv_ingress_admitted_total"+label, t.admitted.Load()))
+		emit(metrics.C("netsrv_ingress_shed_total"+label, t.shed.Load()))
+		emit(metrics.C("netsrv_ingress_rate_limited_total"+label, t.rateLimited.Load()))
+		emit(metrics.C("netsrv_ingress_expired_total"+label, t.expired.Load()))
+		a.tenantDepth(i, &counts)
+		emit(metrics.G("netsrv_ingress_queue_depth_p50"+label, float64(depthQuantile(&counts, 0.50))))
+		emit(metrics.G("netsrv_ingress_queue_depth_p99"+label, float64(depthQuantile(&counts, 0.99))))
+	}
 }
 
 // tokenBucket is a mutex-guarded token bucket: take() refills

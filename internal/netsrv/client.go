@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/partition"
 )
@@ -550,13 +551,27 @@ func (c *Client) Forget(startTS uint64) {
 	}
 }
 
-// Stats fetches the server-side oracle counters.
+// Stats fetches the server-side oracle counters over the frozen positional
+// opStats payload — the legacy shim kept for old clients. New telemetry is
+// not added here; use Metrics.
 func (c *Client) Stats() (oracle.Stats, error) {
 	payload, err := c.call(opStats, nil)
 	if err != nil {
 		return oracle.Stats{}, err
 	}
 	return decodeStats(payload)
+}
+
+// Metrics gathers the server's self-describing metrics registry: every
+// named counter, gauge and histogram summary the server's subsystems
+// registered, sorted by name. The wire encoding is length-prefixed per
+// sample, so a client of any vintage decodes whatever subset it understands.
+func (c *Client) Metrics() ([]metrics.Sample, error) {
+	payload, err := c.call(opMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.DecodeSamples(payload)
 }
 
 // Routing fetches the server's epoch-fenced routing table.

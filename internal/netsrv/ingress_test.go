@@ -72,14 +72,20 @@ func TestOverloadAdmitterBasics(t *testing.T) {
 	if inflight != 0 {
 		t.Fatalf("inflight = %d after all releases, want 0", inflight)
 	}
-	if got := a.admitted.Load(); got != 2 {
-		t.Fatalf("admitted = %d, want 2", got)
+	admitted, shed, _, expired := a.totals()
+	if admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", admitted)
 	}
-	if got := a.shed.Load(); got != 1 {
-		t.Fatalf("shed = %d, want 1", got)
+	if shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
 	}
-	if got := a.expired.Load(); got != 1 {
-		t.Fatalf("expired = %d, want 1", got)
+	if expired != 1 {
+		t.Fatalf("expired = %d, want 1", expired)
+	}
+	// The same counts must surface per tenant (everything above was
+	// tenant 0).
+	if got := a.tenants[0].admitted.Load(); got != 2 {
+		t.Fatalf("tenant 0 admitted = %d, want 2", got)
 	}
 }
 

@@ -66,6 +66,12 @@ const (
 	// innerPayload. Bare (non-enveloped) frames remain valid and are
 	// admitted as tenant 0, session 0, no deadline.
 	opEnvelope = 21
+	// opMetrics gathers the server's self-describing metrics registry: the
+	// response payload is metrics.AppendSamples' length-prefixed
+	// name/kind/value encoding, so new metrics appear without any wire
+	// change. opStats remains as the frozen legacy shim (its positional
+	// payload is never widened again — new telemetry goes here).
+	opMetrics = 22
 )
 
 // Role bytes carried by opHealth / opPromote responses.

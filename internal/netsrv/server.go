@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/partition"
 )
@@ -99,6 +100,28 @@ type Server struct {
 	// PooledFrameHits/Misses stats fields.
 	ctxPool              sync.Pool
 	poolHits, poolMisses atomic.Int64
+
+	// SlowThreshold, when > 0, makes requests whose total server-side
+	// residence time meets it emit one structured slow-request log line with
+	// all stage timings (1 in TraceSample of them; 0 or 1 logs every one).
+	// Set before Listen.
+	SlowThreshold time.Duration
+	TraceSample   int
+
+	// DisableTracing turns the request lifecycle tracing off entirely (no
+	// span stamps, no stage histograms, no slow log). Exists for the `obs`
+	// bench to measure the instrumentation's own overhead; production
+	// leaves tracing always on. Set before Listen.
+	DisableTracing bool
+	traceOn        atomic.Bool
+
+	// The observability plane: stage-delta histograms per op class, the
+	// self-describing registry behind opMetrics and the debug endpoints,
+	// and the slow-request sampling sequence.
+	stage   [numOpClasses][numStageHists]metrics.AtomicHistogram
+	reg     *metrics.Registry
+	regOnce sync.Once
+	slowSeq atomic.Int64
 }
 
 // handlerCtx is the reusable scratch of one in-flight request: the raw
@@ -116,6 +139,8 @@ type handlerCtx struct {
 	results []oracle.CommitResult   // CommitBatchInto result scratch
 	sts     []oracle.TxnStatus      // QueryBatchInto result scratch
 	preps   []oracle.PrepareRequest // commit-at-batch decode scratch (one-shot path only)
+	span    metrics.Span            // request lifecycle trace, embedded so tracing allocates nothing
+	op      byte                    // unwrapped op code, for per-class stage histograms
 }
 
 // getCtx checks a handler context out of the pool.
@@ -187,10 +212,19 @@ func (s *Server) Serve(ln net.Listener) {
 	if s.Ingress != nil {
 		s.adm = newAdmitter(*s.Ingress)
 	}
+	s.traceOn.Store(!s.DisableTracing)
+	s.Registry() // materialize the metrics plane before the first request
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
 }
+
+// SetTracing enables or disables lifecycle tracing at runtime. A request in
+// flight across the flip may be stamped on one side only; recordSpan drops
+// such partial spans, so the histograms never see a torn lifecycle. The
+// `obs` bench toggles this to interleave traced and untraced measurement
+// slices under one continuous load.
+func (s *Server) SetTracing(enabled bool) { s.traceOn.Store(enabled) }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string {
@@ -454,6 +488,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // connection closed, idle-expired or broken
 		}
 		ctx.body = body[:len(body):cap(body)]
+		// The span's receive stamp anchors the whole lifecycle trace; with
+		// tracing disabled the span is still reset (its tenant/session
+		// fields route per-tenant counters) but no clock is read.
+		if s.traceOn.Load() {
+			ctx.span.Begin()
+		} else {
+			ctx.span.Reset()
+		}
 		reqID, op, payload, err := splitRequest(body)
 		if err != nil {
 			s.putCtx(ctx)
@@ -472,11 +514,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.logf("netsrv: bad envelope from %s: %v", conn.RemoteAddr(), perr)
 				return
 			}
+			if s.adm != nil {
+				tenant = s.adm.clampTenant(env.tenant)
+			}
+			ctx.span.Tenant = uint16(tenant)
+			ctx.span.Session = env.session
 			if _, ok := sessions[env.session]; !ok {
 				if maxSessions > 0 && s.sessions.Load() >= int64(maxSessions) {
 					resp := append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedSessions)
 					if s.adm != nil {
-						s.adm.shed.Add(1)
+						s.adm.tenants[tenant].shed.Add(1)
 					}
 					s.sendAndRecycle(w, conn, ctx, resp)
 					continue
@@ -491,10 +538,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if env.deadline > 0 {
 				deadline = time.Now().Add(time.Duration(env.deadline) * time.Microsecond)
 			}
-			if s.adm != nil {
-				tenant = s.adm.clampTenant(env.tenant)
-			}
 		}
+		ctx.op = op
 		if op == opSubscribe {
 			// The connection becomes a one-way event stream; handle
 			// inline and stop reading requests. The context is released
@@ -511,6 +556,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// allocation (the reply is built into the pooled context).
 		mustWait := false
 		gated := s.adm != nil && isDataOp(op)
+		ctx.span.Gated = gated
 		if gated {
 			switch s.adm.tryAdmit(tenant, deadline) {
 			case admitOK:
@@ -541,10 +587,22 @@ func (s *Server) serveConn(conn net.Conn) {
 						s.sendAndRecycle(w, conn, ctx, append(appendRespHdr(ctx.resp[:0], reqID, codeOverload), shedQueueFull))
 						return
 					}
+					if s.traceOn.Load() {
+						// Only requests that actually parked pay a clock
+						// read here: the delta back to the receive stamp is
+						// the admission wait. Fast-path admits leave the
+						// stamp zero, which recordSpan treats as no wait.
+						ctx.span.Stamp(metrics.StageAdmit)
+					}
 				}
 				defer s.adm.release()
 			}
 			resp := s.handle(ctx, reqID, op, payload, deadline)
+			if s.traceOn.Load() && ctx.span.At(metrics.StageApply) == 0 {
+				// Ops whose oracle path does not stamp (control plane,
+				// direct queries, errors): handler completion is the apply.
+				ctx.span.Stamp(metrics.StageApply)
+			}
 			s.sendAndRecycle(w, conn, ctx, resp)
 		}(tenant, deadline, mustWait, gated)
 	}
@@ -557,6 +615,10 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) sendAndRecycle(w *connWriter, conn net.Conn, ctx *handlerCtx, resp []byte) {
 	if err := w.send(resp); err != nil {
 		s.logf("netsrv: write to %s: %v", conn.RemoteAddr(), err)
+	}
+	if s.traceOn.Load() {
+		ctx.span.Stamp(metrics.StageFlush)
+		s.recordSpan(&ctx.span, ctx.op)
 	}
 	ctx.resp = resp[:0:cap(resp)]
 	s.putCtx(ctx)
@@ -579,7 +641,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 	ok := appendRespHdr(ctx.resp[:0], reqID, codeOK)
 	if !deadline.IsZero() && !time.Now().Before(deadline) {
 		if s.adm != nil {
-			s.adm.expired.Add(1)
+			s.adm.tenants[ctx.span.Tenant].expired.Add(1)
 		}
 		return appendRespHdr(ctx.resp[:0], reqID, codeExpired)
 	}
@@ -592,6 +654,10 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		return append(ok, role)
 	case opPromote:
 		return s.handlePromote(reqID)
+	case opMetrics:
+		// Served even in standby role: the registry's netsrv samples (and
+		// the dynamic oracle source, once promoted) are always gatherable.
+		return metrics.AppendSamples(ok, s.Registry().Gather())
 	}
 	if so == nil {
 		return respError(reqID, ErrStandby)
@@ -607,6 +673,12 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		err := decodeCommitReqInto(&ctx.single, payload)
 		if err != nil {
 			return respError(reqID, err)
+		}
+		// Assigned unconditionally: the decode scratch is pooled, so a
+		// stale span pointer from a previous request must never survive.
+		ctx.single.Span = nil
+		if s.traceOn.Load() {
+			ctx.single.Span = &ctx.span
 		}
 		var res oracle.CommitResult
 		if c := s.coal.Load(); c != nil {
@@ -624,6 +696,12 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 			return respError(reqID, err)
 		}
 		ctx.reqs = reqs
+		for i := range reqs {
+			reqs[i].Span = nil
+			if s.traceOn.Load() {
+				reqs[i].Span = &ctx.span
+			}
+		}
 		results, err := so.CommitBatchInto(reqs, ctx.results)
 		if err != nil {
 			return respError(reqID, err)
@@ -646,7 +724,11 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		}
 		var st oracle.TxnStatus
 		if c := s.qcoal.Load(); c != nil {
-			st, err = c.submit(ts, deadline)
+			var sp *metrics.Span
+			if s.traceOn.Load() {
+				sp = &ctx.span
+			}
+			st, err = c.submit(ts, deadline, sp)
 			if err != nil {
 				return s.respMaybeExpired(ctx, reqID, err)
 			}
@@ -727,10 +809,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		st.PooledFrameMisses = s.poolMisses.Load()
 		st.Sessions = s.sessions.Load()
 		if a := s.adm; a != nil {
-			st.IngressAdmitted = a.admitted.Load()
-			st.IngressShed = a.shed.Load()
-			st.IngressRateLimited = a.rateLimited.Load()
-			st.IngressExpired = a.expired.Load()
+			st.IngressAdmitted, st.IngressShed, st.IngressRateLimited, st.IngressExpired = a.totals()
 			st.QueueDepthP99 = a.depthP99()
 		}
 		return appendStats(ok, st)
@@ -796,7 +875,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 func (s *Server) respMaybeExpired(ctx *handlerCtx, reqID uint64, err error) []byte {
 	if errors.Is(err, oracle.ErrExpired) {
 		if s.adm != nil {
-			s.adm.expired.Add(1)
+			s.adm.tenants[ctx.span.Tenant].expired.Add(1)
 		}
 		return appendRespHdr(ctx.resp[:0], reqID, codeExpired)
 	}

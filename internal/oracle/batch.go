@@ -4,7 +4,24 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/metrics"
 )
+
+// stampSpans stamps stage on every traced request of a batch with a single
+// clock read; a fully untraced batch pays one nil check per request and
+// never touches the clock.
+func stampSpans(reqs []CommitRequest, stage int) {
+	var now int64
+	for i := range reqs {
+		if sp := reqs[i].Span; sp != nil {
+			if now == 0 {
+				now = metrics.Nanotime()
+			}
+			sp.StampAt(stage, now)
+		}
+	}
+}
 
 // batchPlaceholderBase is the provisional commit timestamp assigned to a
 // batch entry's lastCommit updates before the batch's real timestamp block
@@ -80,6 +97,11 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 	if err, ok := s.failed.Load().(error); ok {
 		return nil, err
 	}
+	// The batch-cut stamp for every traced request in one clock read — this
+	// entry point is the cut for both the server-side coalescer and direct
+	// batch/single commits, so the per-request handler never reads the
+	// clock for it.
+	stampSpans(reqs, metrics.StageCut)
 	results := scratch
 	if cap(results) < len(reqs) {
 		results = make([]CommitResult, len(reqs))
@@ -110,6 +132,7 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 		if readOnly > 0 {
 			s.stats.applyBatch(readOnly, 0, 0, 0, 0)
 		}
+		stampSpans(reqs, metrics.StageApply)
 		return results, nil
 	}
 	for _, i := range writeIdx {
@@ -234,6 +257,7 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 	}
 	if len(committed) == 0 {
 		s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
+		stampSpans(reqs, metrics.StageApply)
 		return results, nil
 	}
 
@@ -257,6 +281,7 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 			s.stats.applyBatch(readOnly, 0, int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
 			return nil, fmt.Errorf("oracle: persist commit batch: %w", err)
 		}
+		stampSpans(reqs, metrics.StageWAL)
 	}
 	for k, i := range committed {
 		ts := lo + uint64(k)
@@ -264,6 +289,7 @@ func (s *StatusOracle) CommitBatchInto(reqs []CommitRequest, scratch []CommitRes
 		s.bcast.publish(Event{StartTS: reqs[i].StartTS, CommitTS: ts})
 	}
 	s.stats.applyBatch(readOnly, int64(len(committed)), int64(len(aborts)), tmaxAborts, int64(len(writeIdx)))
+	stampSpans(reqs, metrics.StageApply)
 	return results, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/tso"
 	"repro/internal/wal"
 )
@@ -152,6 +153,11 @@ type CommitRequest struct {
 	StartTS  uint64
 	WriteSet []RowID
 	ReadSet  []RowID
+	// Span, when non-nil, is the request's lifecycle trace: the commit path
+	// stamps StageWAL when the group append reports durable and StageApply
+	// when the decision is published. Never encoded on the wire; owned by
+	// the server's pooled handler context.
+	Span *metrics.Span
 }
 
 // ReadOnly reports whether the request is from a read-only transaction.

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Stats is a snapshot of the status oracle's counters. TmaxAborts counts
@@ -226,4 +228,35 @@ func (c *statsCollector) snapshot() Stats {
 		s.CrossPartitionRatio = float64(s.Prepares) / float64(total)
 	}
 	return s
+}
+
+// MetricsSource adapts the oracle's counters to the self-describing metrics
+// registry. Unlike the frozen positional Stats payload, samples emitted here
+// can be added freely: the registry's length-prefixed wire encoding carries
+// names, so no consumer needs a format change.
+func (s *StatusOracle) MetricsSource() metrics.Source {
+	return func(emit func(metrics.Sample)) {
+		st := s.Stats()
+		emit(metrics.C("oracle_begins_total", st.Begins))
+		emit(metrics.C("oracle_commits_total", st.Commits))
+		emit(metrics.C("oracle_readonly_commits_total", st.ReadOnlyCommits))
+		emit(metrics.C("oracle_conflict_aborts_total", st.ConflictAborts))
+		emit(metrics.C("oracle_tmax_aborts_total", st.TmaxAborts))
+		emit(metrics.C("oracle_explicit_aborts_total", st.ExplicitAborts))
+		emit(metrics.C("oracle_commit_batches_total", st.Batches))
+		emit(metrics.G("oracle_commit_batch_size_avg", st.BatchSizeAvg))
+		emit(metrics.C("oracle_queries_total", st.Queries))
+		emit(metrics.C("oracle_query_batches_total", st.QueryBatches))
+		emit(metrics.G("oracle_query_batch_size_avg", st.QueryBatchSizeAvg))
+		emit(metrics.C("oracle_checkpoints_total", st.Checkpoints))
+		emit(metrics.C("oracle_replayed_records", st.ReplayedRecords))
+		emit(metrics.C("oracle_recovery_nanos", st.RecoveryNanos))
+		emit(metrics.C("oracle_prepares_total", st.Prepares))
+		emit(metrics.C("oracle_prepare_novotes_total", st.PrepareNoVotes))
+		emit(metrics.C("oracle_decides_total", st.Decides))
+		emit(metrics.G("oracle_decide_wait_avg_ns", st.DecideWaitAvg))
+		emit(metrics.G("oracle_cross_partition_ratio", st.CrossPartitionRatio))
+		emit(metrics.G("oracle_table_load_factor", st.TableLoadFactor))
+		emit(metrics.C("oracle_table_rehashes_total", st.Rehashes))
+	}
 }

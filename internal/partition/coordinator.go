@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 )
 
@@ -1154,4 +1155,19 @@ func (co *Coordinator) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// MetricsSource adapts the coordinator's counters to the metrics registry.
+// Per-partition oracle counters are not re-emitted here — each partition
+// server exposes its own oracle_* series.
+func (co *Coordinator) MetricsSource() metrics.Source {
+	return func(emit func(metrics.Sample)) {
+		emit(metrics.C("partition_begins_total", co.begins.Load()))
+		emit(metrics.C("partition_single_txns_total", co.singleTxns.Load()))
+		emit(metrics.C("partition_cross_txns_total", co.crossTxns.Load()))
+		emit(metrics.C("partition_cross_commits_total", co.crossCommits.Load()))
+		emit(metrics.C("partition_cross_aborts_total", co.crossAborts.Load()))
+		emit(metrics.C("partition_moves_total", co.moves.Load()))
+		emit(metrics.G("partition_routing_epoch", float64(co.Routing().Epoch)))
+	}
 }

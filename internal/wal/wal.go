@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Ledger is one replica of the log (a "bookie" in BookKeeper terms).
@@ -122,6 +125,12 @@ type Writer struct {
 	flushCond   *sync.Cond
 	nextTicket  uint64
 	serveTicket uint64
+
+	// Lifetime counters feeding MetricsSource.
+	entriesAppended atomic.Int64
+	batchesFlushed  atomic.Int64
+	bytesFlushed    atomic.Int64
+	quorumFailures  atomic.Int64
 }
 
 // Fenced reports whether the writer has observed a seal on any ledger and
@@ -165,6 +174,7 @@ func (w *Writer) Append(entry []byte) error {
 // accumulating batch buffer. Caller holds w.mu.
 func (w *Writer) appendFramedLocked(entry []byte) {
 	w.buf = appendEntryFrame(w.buf, entry)
+	w.entriesAppended.Add(1)
 }
 
 // maybeFlushLocked cuts the batch if it reached BatchBytes, else arms the
@@ -334,6 +344,8 @@ func (w *Writer) flush(batch []byte, waiters []pendingWaiter, ticket uint64) {
 	if len(batch) == 0 && len(waiters) == 0 {
 		return
 	}
+	w.batchesFlushed.Add(1)
+	w.bytesFlushed.Add(int64(len(batch)))
 
 	errs := make(chan error, len(w.ledgers))
 	for _, l := range w.ledgers {
@@ -355,6 +367,7 @@ func (w *Writer) flush(batch []byte, waiters []pendingWaiter, ticket uint64) {
 	ack := func() {
 		var result error
 		if acks < need {
+			w.quorumFailures.Add(1)
 			// A seal on any replica means a successor has fenced the
 			// log; report it as such so the oracle can latch rather
 			// than treat it as a transient quorum loss.
@@ -397,6 +410,21 @@ func (w *Writer) flush(batch []byte, waiters []pendingWaiter, ticket uint64) {
 	// Every replica has responded and every waiter is acknowledged: the
 	// batch buffer and waiter slice can serve the next batch.
 	w.recycle(batch, waiters)
+}
+
+// MetricsSource adapts the writer's group-commit counters to the metrics
+// registry: entries framed, batches and bytes flushed, and quorum failures.
+func (w *Writer) MetricsSource() metrics.Source {
+	return func(emit func(metrics.Sample)) {
+		emit(metrics.C("wal_entries_appended_total", w.entriesAppended.Load()))
+		emit(metrics.C("wal_batches_flushed_total", w.batchesFlushed.Load()))
+		emit(metrics.C("wal_bytes_flushed_total", w.bytesFlushed.Load()))
+		emit(metrics.C("wal_quorum_failures_total", w.quorumFailures.Load()))
+		flushed := w.batchesFlushed.Load()
+		if flushed > 0 {
+			emit(metrics.G("wal_batch_bytes_avg", float64(w.bytesFlushed.Load())/float64(flushed)))
+		}
+	}
 }
 
 // Flush forces out any buffered entries and waits for them.

@@ -7,7 +7,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=$(go test -run=NONE -bench 'BenchmarkCommitBatch|BenchmarkQueryBatch' -benchmem -benchtime 5000x .
-      go test -run=NONE -bench 'BenchmarkAdmissionDecision' -benchmem -benchtime 5000x ./internal/netsrv)
+      go test -run=NONE -bench 'BenchmarkAdmissionDecision' -benchmem -benchtime 5000x ./internal/netsrv
+      go test -run=NONE -bench 'BenchmarkTraceStamp|BenchmarkAtomicHistogramRecord' -benchmem -benchtime 5000x ./internal/metrics)
 echo "$out"
 echo "---"
 echo "$out" | awk '
