@@ -87,6 +87,7 @@ func main() {
 		traceSample = flag.Int("trace-sample", 100, "log 1 in N slow requests over -slow-ms (1 = every slow request)")
 		noTrace     = flag.Bool("no-trace", false, "disable hot-path lifecycle tracing (per-stage histograms stay empty)")
 		statsEvery  = flag.Duration("stats-every", 0, "log an oracle/ingress stats summary this often, with per-tenant admission breakdown (0 = off)")
+		anomSample  = flag.Float64("anomaly-sample", 0, "fraction of commit decisions fed to the streaming anomaly checker (0 = off, 1 = every decision; history_* metrics)")
 
 		coalesce      = flag.Int("coalesce", 0, "server-side coalescing: max single-commit (and single-query) frames merged into one oracle batch (0 = off)")
 		coalesceDelay = flag.Duration("coalesce-delay", 200*time.Microsecond, "max extra latency a request waits for its batch to fill (with -coalesce)")
@@ -164,11 +165,12 @@ func main() {
 	}
 
 	obs := obsFlags{
-		debugAddr:   *debugAddr,
-		slow:        time.Duration(*slowMS * float64(time.Millisecond)),
-		traceSample: *traceSample,
-		noTrace:     *noTrace,
-		statsEvery:  *statsEvery,
+		debugAddr:     *debugAddr,
+		slow:          time.Duration(*slowMS * float64(time.Millisecond)),
+		traceSample:   *traceSample,
+		noTrace:       *noTrace,
+		statsEvery:    *statsEvery,
+		anomalySample: *anomSample,
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -185,11 +187,12 @@ func main() {
 // slow-request exemplar logging, the tracing kill switch, and periodic
 // stats logging.
 type obsFlags struct {
-	debugAddr   string
-	slow        time.Duration
-	traceSample int
-	noTrace     bool
-	statsEvery  time.Duration
+	debugAddr     string
+	slow          time.Duration
+	traceSample   int
+	noTrace       bool
+	statsEvery    time.Duration
+	anomalySample float64
 }
 
 // apply installs the tracing knobs on a server (before Serve).
@@ -197,8 +200,12 @@ func (o obsFlags) apply(srv *netsrv.Server) {
 	srv.SlowThreshold = o.slow
 	srv.TraceSample = o.traceSample
 	srv.DisableTracing = o.noTrace
+	srv.AnomalySample = o.anomalySample
 	if o.slow > 0 {
 		log.Printf("oracle-server: logging 1 in %d requests slower than %v", max(o.traceSample, 1), o.slow)
+	}
+	if o.anomalySample > 0 {
+		log.Printf("oracle-server: streaming anomaly checker sampling %.2g of commit decisions", o.anomalySample)
 	}
 }
 
@@ -226,8 +233,19 @@ func (o obsFlags) start(srv *netsrv.Server) {
 	}
 	if o.statsEvery > 0 {
 		go func() {
+			var exSeen int
 			for range time.Tick(o.statsEvery) {
 				logStats(reg)
+				// New anomaly exemplars since the last tick (the checker
+				// retains a bounded ring; a burst past it rotates through).
+				exs := srv.AnomalyExemplars()
+				if len(exs) < exSeen {
+					exSeen = 0
+				}
+				for _, ex := range exs[exSeen:] {
+					log.Printf("oracle-server: anomaly exemplar %s", ex)
+				}
+				exSeen = len(exs)
 			}
 		}()
 	}
@@ -240,6 +258,9 @@ func logStats(reg *metrics.Registry) {
 	get := func(name string) int64 {
 		for _, s := range samples {
 			if s.Name == name {
+				if s.Kind == metrics.KindGauge {
+					return int64(s.Gauge)
+				}
 				return s.Value
 			}
 		}
@@ -249,6 +270,14 @@ func logStats(reg *metrics.Registry) {
 		get("oracle_commits_total"),
 		get("oracle_conflict_aborts_total")+get("oracle_tmax_aborts_total")+get("oracle_explicit_aborts_total"),
 		get("oracle_queries_total"), get("oracle_commit_batches_total"), get("netsrv_sessions"))
+	if get("history_txns_sampled_total") > 0 {
+		log.Printf("oracle-server: anomalies write_skew=%d lost_update=%d dirty_read=%d fuzzy_read=%d snapshot=%d nonmonotone=%d double_decide=%d (sampled=%d window=%d)",
+			get("history_write_skew_total"), get("history_lost_update_total"),
+			get("history_dirty_read_total"), get("history_fuzzy_read_total"),
+			get("history_snapshot_violation_total"), get("history_nonmonotone_commit_total"),
+			get("history_double_decide_total"), get("history_txns_sampled_total"),
+			get("history_window_txns"))
+	}
 	for _, s := range samples {
 		if strings.HasPrefix(s.Name, `netsrv_ingress_admitted_total{tenant=`) {
 			tenant := strings.TrimSuffix(strings.TrimPrefix(s.Name, `netsrv_ingress_admitted_total{tenant="`), `"}`)

@@ -1,0 +1,588 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// streamEvents converts a history into the event stream a precise per-
+// transaction tap would have recorded, mapping the history's index domain
+// into the timestamp domain as ts(i) = i+1: a transaction starts at its
+// first operation's index and commits at its commit operation's index, so
+// every strict inequality the offline classifiers test (committed before
+// start, committed between start and commit) is preserved exactly.
+func streamEvents(h History) []StreamEvent {
+	s := Evaluate(h)
+	infos := h.txnInfos()
+	startTS := func(txn int) uint64 { return uint64(infos[txn].startIdx) + 1 }
+	itemID := make(map[string]uint64)
+	id := func(item string) uint64 {
+		v, ok := itemID[item]
+		if !ok {
+			v = uint64(len(itemID)) + 1
+			itemID[item] = v
+		}
+		return v
+	}
+	var evs []StreamEvent
+	begun := make(map[int]bool)
+	for i, op := range h {
+		if !begun[op.Txn] {
+			begun[op.Txn] = true
+			evs = append(evs, StreamEvent{Kind: EvBegin, Start: startTS(op.Txn)})
+		}
+		switch op.Type {
+		case OpRead:
+			w, _ := s.ReadsFrom(i)
+			var obs uint64
+			switch {
+			case w == 0:
+				obs = 0
+			case w == op.Txn:
+				obs = startTS(op.Txn)
+			default:
+				obs = startTS(w)
+			}
+			evs = append(evs, StreamEvent{Kind: EvRead, Start: startTS(op.Txn), Item: id(op.Item), Arg: obs})
+		case OpWrite:
+			evs = append(evs, StreamEvent{Kind: EvWrite, Start: startTS(op.Txn), Item: id(op.Item)})
+		case OpCommit:
+			evs = append(evs, StreamEvent{Kind: EvCommit, Start: startTS(op.Txn), Arg: uint64(i) + 1})
+		case OpAbort:
+			evs = append(evs, StreamEvent{Kind: EvAbort, Start: startTS(op.Txn)})
+		}
+	}
+	return evs
+}
+
+// checkStream feeds a history through a fresh streaming checker and
+// returns its final counters.
+func checkStream(h History) StreamCounts {
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll(streamEvents(h))
+	s.Finalize()
+	return s.Counts()
+}
+
+// assertMatchesOffline asserts the streaming verdicts agree with the
+// offline classifiers on a fully observed, in-order stream. Dirty and
+// fuzzy reads are impossible under snapshot-read semantics (which the
+// converter reproduces), so those counters double as a false-positive
+// check, as do the watchdogs.
+func assertMatchesOffline(t *testing.T, h History) {
+	t.Helper()
+	c := checkStream(h)
+	if got, want := c.WriteSkew > 0, HasWriteSkew(h); got != want {
+		t.Errorf("history %q: streaming write skew %v, offline %v", h, got, want)
+	}
+	if got, want := c.LostUpdate > 0, HasLostUpdate(h); got != want {
+		t.Errorf("history %q: streaming lost update %v, offline %v", h, got, want)
+	}
+	if HasDirtyRead(h) || HasFuzzyRead(h) {
+		t.Fatalf("history %q: offline detected dirty/fuzzy read under snapshot semantics", h)
+	}
+	if c.DirtyRead != 0 || c.FuzzyRead != 0 {
+		t.Errorf("history %q: streaming fabricated dirty=%d fuzzy=%d", h, c.DirtyRead, c.FuzzyRead)
+	}
+	if c.SnapViolation != 0 || c.NonMonotone != 0 || c.DoubleDecide != 0 {
+		t.Errorf("history %q: watchdogs tripped on a well-formed stream: %+v", h, c)
+	}
+}
+
+func TestStreamingMatchesOfflineKnownHistories(t *testing.T) {
+	for _, src := range []string{
+		// Write skew (§3.1, A5B): disjoint writes, crossed reads.
+		"r1[x] r2[y] w1[y] w2[x] c1 c2",
+		// Same pattern, serial: no overlap, no skew.
+		"r1[x] w1[y] c1 r2[y] w2[x] c2",
+		// Lost update (§3.2 History 3).
+		"r1[x] r2[x] w2[x] c2 w1[x] c1",
+		// Blind overwrite (History 4): not a lost update.
+		"r1[x] w2[x] c2 w1[x] c1",
+		// Read-only transactions and own-write reads.
+		"w1[x] r1[x] c1 r2[x] c2",
+		// Aborted writer: its version installs nothing.
+		"w1[x] a1 r2[x] w2[x] c2",
+		// In-doubt writer (no decision) plus an independent reader.
+		"w1[x] r2[y] w2[y] c2",
+		// Write skew among three with an extra overlapping reader.
+		"r1[x] r2[y] r3[x] w1[y] w2[x] c1 c2 c3",
+		// Fuzzy-read shape defused by snapshot semantics.
+		"r1[x] w2[x] c2 r1[x] w1[y] c1",
+	} {
+		assertMatchesOffline(t, MustParse(src))
+	}
+}
+
+// randomHistory generates a valid interleaved history: per-transaction
+// operations in program order, at most one decision, some transactions
+// left in doubt.
+func randomStreamHistory(rng *rand.Rand) History {
+	items := []string{"x", "y", "z"}[:2+rng.Intn(2)]
+	nTxns := 2 + rng.Intn(4)
+	type tstate struct{ ops int }
+	active := make([]int, 0, nTxns)
+	states := make(map[int]*tstate)
+	for i := 1; i <= nTxns; i++ {
+		active = append(active, i)
+		states[i] = &tstate{}
+	}
+	var h History
+	for len(active) > 0 {
+		k := rng.Intn(len(active))
+		txn := active[k]
+		st := states[txn]
+		decide := st.ops > 0 && (rng.Float64() < 0.25 || st.ops >= 6)
+		if decide {
+			switch r := rng.Float64(); {
+			case r < 0.15:
+				h = append(h, Op{Type: OpAbort, Txn: txn})
+			case r < 0.25:
+				// Left in doubt: no decision ever arrives.
+			default:
+				h = append(h, Op{Type: OpCommit, Txn: txn})
+			}
+			active = append(active[:k], active[k+1:]...)
+			continue
+		}
+		typ := OpRead
+		if rng.Float64() < 0.45 {
+			typ = OpWrite
+		}
+		h = append(h, Op{Type: typ, Txn: txn, Item: items[rng.Intn(len(items))]})
+		st.ops++
+	}
+	return h
+}
+
+func TestStreamingRandomEquivalence(t *testing.T) {
+	skews, lost := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomStreamHistory(rng)
+		assertMatchesOffline(t, h)
+		if HasWriteSkew(h) {
+			skews++
+		}
+		if HasLostUpdate(h) {
+			lost++
+		}
+	}
+	// The generator must actually exercise the positive paths, or the
+	// equivalence assertion is vacuous.
+	if skews == 0 || lost == 0 {
+		t.Fatalf("generator coverage too weak: %d write skews, %d lost updates", skews, lost)
+	}
+	t.Logf("random histories: %d with write skew, %d with lost update", skews, lost)
+}
+
+// TestStreamingEvictionNoFalsePositives interleaves window eviction with
+// the stream at random (monotone) low-water marks and asserts the
+// invariant the window design rests on: eviction may forfeit detections,
+// it must never fabricate one.
+func TestStreamingEvictionNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		h := randomStreamHistory(rng)
+		evs := streamEvents(h)
+		s := NewStreaming(StreamConfig{})
+		var lw uint64
+		for i, ev := range evs {
+			s.Process(ev)
+			if rng.Float64() < 0.2 {
+				// The mark only rises, like the commit table's.
+				if next := uint64(rng.Intn(i + 2)); next > lw {
+					lw = next
+				}
+				s.EvictBelow(lw)
+			}
+		}
+		s.Finalize()
+		c := s.Counts()
+		if c.WriteSkew > 0 && !HasWriteSkew(h) {
+			t.Fatalf("seed %d history %q: eviction fabricated write skew", seed, h)
+		}
+		if c.LostUpdate > 0 && !HasLostUpdate(h) {
+			t.Fatalf("seed %d history %q: eviction fabricated lost update", seed, h)
+		}
+		if c.DirtyRead != 0 || c.FuzzyRead != 0 || c.SnapViolation != 0 || c.NonMonotone != 0 || c.DoubleDecide != 0 {
+			t.Fatalf("seed %d history %q: eviction fabricated anomalies: %+v", seed, h, c)
+		}
+	}
+}
+
+// TestStreamingEvictionBoundsWindow checks both eviction mechanisms
+// actually shrink the window: the low-water mark and the MaxTxns cap.
+func TestStreamingEvictionBoundsWindow(t *testing.T) {
+	s := NewStreaming(StreamConfig{MaxTxns: 8})
+	for i := uint64(0); i < 100; i++ {
+		start := 2*i + 1
+		s.ProcessAll([]StreamEvent{
+			{Kind: EvBegin, Start: start},
+			{Kind: EvWrite, Start: start, Item: 1 + i%3},
+			{Kind: EvCommit, Start: start, Arg: start + 1},
+		})
+	}
+	if w := s.WindowSize(); w > 8 {
+		t.Fatalf("window %d exceeds MaxTxns cap 8", w)
+	}
+	if c := s.Counts(); c.Evicted == 0 {
+		t.Fatal("cap eviction did not count")
+	}
+	s.EvictBelow(1 << 20)
+	if w := s.WindowSize(); w != 0 {
+		t.Fatalf("low-water eviction left %d txns", w)
+	}
+	if c := s.Counts(); c.WriteSkew != 0 || c.LostUpdate != 0 || c.NonMonotone != 0 {
+		t.Fatalf("eviction stress fabricated anomalies: %+v", c)
+	}
+}
+
+func TestStreamingDirtyReadDetection(t *testing.T) {
+	// Reader observes a pending writer that then aborts.
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvBegin, Start: 2},
+		{Kind: EvRead, Start: 2, Item: 7, Arg: 1}, // observes txn 1, still pending
+		{Kind: EvAbort, Start: 1},
+		{Kind: EvCommit, Start: 2, Arg: 3},
+	})
+	if c := s.Counts(); c.DirtyRead == 0 {
+		t.Fatalf("aborted-writer dirty read missed: %+v", c)
+	}
+
+	// Reader observes a pending writer that commits later: the data was
+	// uncommitted at the read's snapshot.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvBegin, Start: 2},
+		{Kind: EvRead, Start: 2, Item: 7, Arg: 1},
+		{Kind: EvCommit, Start: 1, Arg: 3},
+	})
+	if c := s.Counts(); c.DirtyRead == 0 {
+		t.Fatalf("pending-writer dirty read missed: %+v", c)
+	}
+
+	// Writer never decides: settled at Finalize (the offline
+	// "uncommitted at end of history" case).
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvBegin, Start: 2},
+		{Kind: EvRead, Start: 2, Item: 7, Arg: 1},
+	})
+	if c := s.Counts(); c.DirtyRead != 0 {
+		t.Fatalf("dirty read flagged before the writer's fate is known: %+v", c)
+	}
+	s.Finalize()
+	if c := s.Counts(); c.DirtyRead == 0 {
+		t.Fatalf("in-doubt-writer dirty read missed at Finalize: %+v", c)
+	}
+}
+
+func TestStreamingFuzzyReadDetection(t *testing.T) {
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvCommit, Start: 1, Arg: 2},
+		{Kind: EvBegin, Start: 3},
+		{Kind: EvRead, Start: 3, Item: 7, Arg: 1}, // sees txn 1's version
+		{Kind: EvRead, Start: 3, Item: 7, Arg: 0}, // then the initial version
+		{Kind: EvCommit, Start: 3, Arg: 4},
+	})
+	if c := s.Counts(); c.FuzzyRead == 0 {
+		t.Fatalf("fuzzy read missed: %+v", c)
+	}
+	// Own-write transitions are read-your-writes, not fuzziness.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvRead, Start: 1, Item: 7, Arg: 0},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvRead, Start: 1, Item: 7, Arg: 1},
+		{Kind: EvCommit, Start: 1, Arg: 2},
+	})
+	if c := s.Counts(); c.FuzzyRead != 0 {
+		t.Fatalf("read-your-writes flagged as fuzzy: %+v", c)
+	}
+}
+
+func TestStreamingSnapshotViolationDetection(t *testing.T) {
+	// Read from the future: observed version committed after the
+	// reader's snapshot.
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvBegin, Start: 2},
+		{Kind: EvWrite, Start: 2, Item: 7},
+		{Kind: EvCommit, Start: 2, Arg: 3},
+		{Kind: EvRead, Start: 1, Item: 7, Arg: 2}, // start 1 sees a commit at 3
+		{Kind: EvCommit, Start: 1, Arg: 4},
+	})
+	if c := s.Counts(); c.SnapViolation == 0 {
+		t.Fatalf("read-from-future missed: %+v", c)
+	}
+
+	// Acked commit invisible: a version committed before the reader's
+	// snapshot, after the version it observed, by another transaction.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 7},
+		{Kind: EvCommit, Start: 1, Arg: 2},
+		{Kind: EvBegin, Start: 3},
+		{Kind: EvWrite, Start: 3, Item: 7},
+		{Kind: EvCommit, Start: 3, Arg: 4},
+		{Kind: EvBegin, Start: 5},
+		{Kind: EvRead, Start: 5, Item: 7, Arg: 1}, // should have seen txn 3's version
+		{Kind: EvCommit, Start: 5, Arg: 6},
+	})
+	if c := s.Counts(); c.SnapViolation == 0 {
+		t.Fatalf("acked-commit-invisible missed: %+v", c)
+	}
+}
+
+func TestStreamingWatchdogs(t *testing.T) {
+	// Non-monotone: commit timestamp below start.
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 5},
+		{Kind: EvWrite, Start: 5, Item: 1},
+		{Kind: EvCommit, Start: 5, Arg: 4},
+	})
+	if c := s.Counts(); c.NonMonotone == 0 {
+		t.Fatalf("commit below start missed: %+v", c)
+	}
+
+	// A writer committing at its own start timestamp is non-monotone; a
+	// read-only transaction doing so is the §5.1 fast path and is fine.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 5},
+		{Kind: EvRead, Start: 5, Item: 1, Arg: 0},
+		{Kind: EvCommit, Start: 5, Arg: 5},
+		{Kind: EvBegin, Start: 7},
+		{Kind: EvWrite, Start: 7, Item: 1},
+		{Kind: EvCommit, Start: 7, Arg: 7},
+	})
+	if c := s.Counts(); c.NonMonotone != 1 {
+		t.Fatalf("want exactly the writer flagged, got %+v", c)
+	}
+
+	// Duplicate commit timestamp across distinct transactions.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvWrite, Start: 1, Item: 1},
+		{Kind: EvCommit, Start: 1, Arg: 9},
+		{Kind: EvBegin, Start: 2},
+		{Kind: EvWrite, Start: 2, Item: 1},
+		{Kind: EvCommit, Start: 2, Arg: 9},
+	})
+	if c := s.Counts(); c.NonMonotone == 0 {
+		t.Fatalf("duplicate commit ts missed: %+v", c)
+	}
+
+	// Doubly-decided transactions, every flavor.
+	for _, evs := range [][]StreamEvent{
+		{{Kind: EvBegin, Start: 1}, {Kind: EvCommit, Start: 1, Arg: 2}, {Kind: EvAbort, Start: 1}},
+		{{Kind: EvBegin, Start: 1}, {Kind: EvAbort, Start: 1}, {Kind: EvCommit, Start: 1, Arg: 2}},
+		{{Kind: EvBegin, Start: 1}, {Kind: EvCommit, Start: 1, Arg: 2}, {Kind: EvCommit, Start: 1, Arg: 3}},
+	} {
+		s = NewStreaming(StreamConfig{})
+		s.ProcessAll(evs)
+		if c := s.Counts(); c.DoubleDecide == 0 {
+			t.Fatalf("double decide missed for %v: %+v", evs, c)
+		}
+	}
+	// Re-sending the same decision is idempotent, not a double decide.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll([]StreamEvent{
+		{Kind: EvBegin, Start: 1},
+		{Kind: EvCommit, Start: 1, Arg: 2},
+		{Kind: EvCommit, Start: 1, Arg: 2},
+	})
+	if c := s.Counts(); c.DoubleDecide != 0 {
+		t.Fatalf("idempotent commit flagged: %+v", c)
+	}
+}
+
+// TestStreamingSetOnlyTapInference feeds the write-skew pattern the way
+// the server-side tap records it — row sets only, reads with ObsUnknown,
+// writes before reads — and checks the inferred observations still catch
+// the skew, while the same shape under a serial schedule stays clean.
+func TestStreamingSetOnlyTapInference(t *testing.T) {
+	serverTxn := func(start, commit uint64, writes, reads []uint64) []StreamEvent {
+		evs := []StreamEvent{{Kind: EvBegin, Start: start}}
+		for _, w := range writes {
+			evs = append(evs, StreamEvent{Kind: EvWrite, Start: start, Item: w})
+		}
+		for _, r := range reads {
+			evs = append(evs, StreamEvent{Kind: EvRead, Start: start, Item: r, Arg: ObsUnknown})
+		}
+		return append(evs, StreamEvent{Kind: EvCommit, Start: start, Arg: commit})
+	}
+	s := NewStreaming(StreamConfig{})
+	// Concurrent: both started before either committed.
+	s.ProcessAll(serverTxn(1, 3, []uint64{20}, []uint64{10, 20}))
+	s.ProcessAll(serverTxn(2, 4, []uint64{10}, []uint64{10, 20}))
+	s.Finalize()
+	if c := s.Counts(); c.WriteSkew == 0 {
+		t.Fatalf("set-only tap missed write skew: %+v", c)
+	}
+	// Serial: no overlap, no skew — and no other anomaly fabricated.
+	s = NewStreaming(StreamConfig{})
+	s.ProcessAll(serverTxn(1, 2, []uint64{20}, []uint64{10, 20}))
+	s.ProcessAll(serverTxn(3, 4, []uint64{10}, []uint64{10, 20}))
+	s.Finalize()
+	if c := s.Counts(); c.WriteSkew != 0 || c.LostUpdate != 0 || c.DirtyRead != 0 || c.SnapViolation != 0 {
+		t.Fatalf("serial set-only stream fabricated anomalies: %+v", c)
+	}
+}
+
+func TestStreamingTapSampling(t *testing.T) {
+	tap := NewTap(16)
+	if tap.Sampled(42) {
+		t.Fatal("fresh tap samples by default")
+	}
+	tap.SetSampling(1)
+	if !tap.Sampled(42) || tap.Sampling() != 1 {
+		t.Fatal("full sampling not honored")
+	}
+	tap.SetSampling(0)
+	if tap.Sampled(42) || tap.Sampling() != 0 {
+		t.Fatal("sampling off not honored")
+	}
+	tap.SetSampling(0.5)
+	in := 0
+	for ts := uint64(1); ts <= 10000; ts++ {
+		if tap.Sampled(ts) {
+			in++
+		}
+	}
+	if in < 4000 || in > 6000 {
+		t.Fatalf("0.5 sampling admitted %d of 10000", in)
+	}
+	// The decision is deterministic per timestamp: every tap point agrees.
+	for ts := uint64(1); ts <= 100; ts++ {
+		if tap.Sampled(ts) != tap.Sampled(ts) {
+			t.Fatal("sampling decision not deterministic")
+		}
+	}
+}
+
+func TestStreamingTapDrainOrderAndDrop(t *testing.T) {
+	tap := NewTap(4)
+	tap.SetSampling(1)
+	// One transaction's events share a shard and drain in order.
+	start := uint64(8) // shard 0
+	tap.Record(StreamEvent{Kind: EvBegin, Start: start})
+	tap.Record(StreamEvent{Kind: EvWrite, Start: start, Item: 1})
+	tap.Record(StreamEvent{Kind: EvCommit, Start: start, Arg: 9})
+	evs := tap.Drain(nil)
+	if len(evs) != 3 || evs[0].Kind != EvBegin || evs[1].Kind != EvWrite || evs[2].Kind != EvCommit {
+		t.Fatalf("drain order wrong: %v", evs)
+	}
+	// Overflow drops newest and counts.
+	for i := 0; i < 10; i++ {
+		tap.Record(StreamEvent{Kind: EvWrite, Start: start, Item: uint64(i)})
+	}
+	if got := tap.Dropped(); got != 6 {
+		t.Fatalf("dropped %d, want 6", got)
+	}
+	evs = tap.Drain(evs[:0])
+	if len(evs) != 4 || evs[0].Item != 0 {
+		t.Fatalf("ring kept wrong events: %v", evs)
+	}
+}
+
+func TestStreamingRunPump(t *testing.T) {
+	var lw uint64
+	s := NewStreaming(StreamConfig{LowWater: func() uint64 { return lw }})
+	tap := NewTap(0)
+	tap.SetSampling(1)
+	stop := s.Run(tap, 0)
+	tap.Record(StreamEvent{Kind: EvBegin, Start: 1})
+	tap.Record(StreamEvent{Kind: EvWrite, Start: 1, Item: 7})
+	tap.Record(StreamEvent{Kind: EvCommit, Start: 1, Arg: 2})
+	stop() // final drain: everything recorded is checked
+	c := s.Counts()
+	if c.Events != 3 || c.Txns != 1 {
+		t.Fatalf("pump lost events: %+v", c)
+	}
+	// A second stop is a no-op; eviction keyed off the low-water fn.
+	stop()
+	lw = 10
+	s.EvictBelow(lw)
+	if s.WindowSize() != 0 {
+		t.Fatal("low-water eviction did not clear the window")
+	}
+}
+
+func TestStreamingExemplars(t *testing.T) {
+	s := NewStreaming(StreamConfig{})
+	s.ProcessAll(streamEvents(MustParse("r1[x] r2[y] w1[y] w2[x] c1 c2")))
+	found := false
+	for _, ex := range s.Exemplars() {
+		if len(ex) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("write skew left no exemplar")
+	}
+	// The ring is bounded: flooding it must not grow past maxExemplars.
+	for i := uint64(0); i < 100; i++ {
+		base := 1000 + 4*i
+		s.ProcessAll([]StreamEvent{
+			{Kind: EvBegin, Start: base},
+			{Kind: EvCommit, Start: base, Arg: base + 1},
+			{Kind: EvCommit, Start: base, Arg: base + 2}, // double decide
+		})
+	}
+	if n := len(s.Exemplars()); n > maxExemplars {
+		t.Fatalf("exemplar ring grew to %d", n)
+	}
+}
+
+// BenchmarkTapRecord is the allocation budget gate for the hot tap path:
+// recording an event into the per-worker rings must not allocate.
+func BenchmarkTapRecord(b *testing.B) {
+	tap := NewTap(1 << 12)
+	tap.SetSampling(1)
+	buf := make([]StreamEvent, 0, tapShards*(1<<12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tap.Record(StreamEvent{Kind: EvWrite, Start: uint64(i), Item: 7})
+		if i&(1<<14-1) == 1<<14-1 {
+			buf = tap.Drain(buf[:0])
+		}
+	}
+	_ = buf
+}
+
+// BenchmarkTapSampledOut measures the cost an unsampled transaction pays:
+// one hash and one atomic load, no allocation.
+func BenchmarkTapSampledOut(b *testing.B) {
+	tap := NewTap(16)
+	tap.SetSampling(0.0001)
+	n := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tap.Sampled(uint64(i)) {
+			n++
+		}
+	}
+	_ = n
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// gatherFrom builds a registry from sources emitting the given samples in
+// the given per-source order and returns the rendered exposition.
+func gatherFrom(groups [][]Sample) (prom, json string, samples []Sample) {
+	r := NewRegistry()
+	for _, g := range groups {
+		g := g
+		r.Register(func(emit func(Sample)) {
+			for _, s := range g {
+				emit(s)
+			}
+		})
+	}
+	samples = r.Gather()
+	var pb, jb bytes.Buffer
+	WritePrometheus(&pb, samples)
+	WriteJSON(&jb, samples)
+	return pb.String(), jb.String(), samples
+}
+
+// TestExpositionDeterministic: the rendered /metrics and /vars bytes must
+// not depend on source registration order or per-source emit order —
+// curl-based CI greps and text diffs rely on it.
+func TestExpositionDeterministic(t *testing.T) {
+	base := []Sample{
+		C("a_total", 1),
+		C(`a_total{tenant="1"}`, 2),
+		C(`a_total{tenant="0"}`, 3),
+		// A family that is a prefix of another: plain full-name sorting
+		// would interleave `a_total{...}` between these two.
+		C("a_total_extra", 4),
+		G("w_gauge", 2.5),
+		C(`b_total{op="commit",tenant="1"}`, 7),
+		C(`b_total{op="abort",tenant="0"}`, 8),
+	}
+	wantProm, wantJSON, _ := gatherFrom([][]Sample{base})
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Sample(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Split across a random number of sources too.
+		cut := 1 + rng.Intn(len(shuffled)-1)
+		prom, json, _ := gatherFrom([][]Sample{shuffled[:cut], shuffled[cut:]})
+		if prom != wantProm {
+			t.Fatalf("trial %d: prometheus output depends on emit order:\n%s\nvs\n%s", trial, prom, wantProm)
+		}
+		if json != wantJSON {
+			t.Fatalf("trial %d: json output depends on emit order:\n%s\nvs\n%s", trial, json, wantJSON)
+		}
+	}
+}
+
+// TestExpositionFamiliesContiguous: family-major ordering keeps every
+// series of a family under a single TYPE header.
+func TestExpositionFamiliesContiguous(t *testing.T) {
+	prom, _, samples := gatherFrom([][]Sample{{
+		C("a_total_extra", 4),
+		C(`a_total{tenant="1"}`, 2),
+		C("a_total", 1),
+		C(`a_total{tenant="0"}`, 3),
+	}})
+	if n := strings.Count(prom, "# TYPE a_total counter"); n != 1 {
+		t.Fatalf("family a_total has %d TYPE headers:\n%s", n, prom)
+	}
+	if n := strings.Count(prom, "# TYPE a_total_extra counter"); n != 1 {
+		t.Fatalf("family a_total_extra has %d TYPE headers:\n%s", n, prom)
+	}
+	// Within the family, label sets are sorted; the unlabeled series
+	// (empty label body) leads.
+	wantOrder := []string{"a_total", `a_total{tenant="0"}`, `a_total{tenant="1"}`, "a_total_extra"}
+	for i, s := range samples {
+		if s.Name != wantOrder[i] {
+			t.Fatalf("sample %d = %s, want %s (full: %v)", i, s.Name, wantOrder[i], samples)
+		}
+	}
+}
+
+// TestExpositionWireRoundTripOrder: samples decoded from the wire keep the
+// gather order, so a remote /metrics proxying opMetrics renders
+// byte-identically to the server's own endpoint.
+func TestExpositionWireRoundTripOrder(t *testing.T) {
+	_, _, samples := gatherFrom([][]Sample{{
+		C(`b_total{op="commit"}`, 7),
+		C("a_total", 1),
+		G("w_gauge", 2.5),
+	}})
+	var buf []byte
+	buf = AppendSamples(buf, samples)
+	got, err := DecodeSamples(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	WritePrometheus(&a, samples)
+	WritePrometheus(&b, got)
+	if a.String() != b.String() {
+		t.Fatalf("wire round trip changed rendering:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -26,8 +26,9 @@ func withLabel(family, labels, extra string) string {
 }
 
 // WritePrometheus renders samples (as returned by Registry.Gather or
-// DecodeSamples, i.e. sorted by name) in the Prometheus text exposition
-// format. Histograms render as summaries with quantile labels.
+// DecodeSamples, i.e. family-major sorted) in the Prometheus text
+// exposition format — one TYPE header per contiguous family. Histograms
+// render as summaries with quantile labels.
 func WritePrometheus(w io.Writer, samples []Sample) {
 	lastFamily := ""
 	for _, s := range samples {

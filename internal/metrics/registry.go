@@ -108,7 +108,13 @@ func (r *Registry) Register(src Source) {
 }
 
 // Gather invokes every source and returns the combined samples sorted by
-// name, so consumers see a stable order regardless of registration order.
+// (family, label body), so consumers see a stable order regardless of
+// registration order. Sorting by the full name would interleave families:
+// '{' sorts after '_', so `a_total{...}` lands between `a_total_more` and
+// `a_totalz` and the Prometheus renderer would repeat TYPE headers.
+// Family-major order keeps every series of a family contiguous with its
+// label sets deterministically ordered within, making /metrics and /vars
+// byte-stable across runs — curl-based CI greps and text diffs hold.
 func (r *Registry) Gather() []Sample {
 	r.mu.Lock()
 	srcs := make([]Source, len(r.sources))
@@ -118,6 +124,13 @@ func (r *Registry) Gather() []Sample {
 	for _, src := range srcs {
 		src(func(s Sample) { out = append(out, s) })
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, li := splitName(out[i].Name)
+		fj, lj := splitName(out[j].Name)
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
 	return out
 }

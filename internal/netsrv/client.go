@@ -564,7 +564,8 @@ func (c *Client) Stats() (oracle.Stats, error) {
 
 // Metrics gathers the server's self-describing metrics registry: every
 // named counter, gauge and histogram summary the server's subsystems
-// registered, sorted by name. The wire encoding is length-prefixed per
+// registered, in deterministic family-major order. The wire encoding is
+// length-prefixed per
 // sample, so a client of any vintage decodes whatever subset it understands.
 func (c *Client) Metrics() ([]metrics.Sample, error) {
 	payload, err := c.call(opMetrics, nil)

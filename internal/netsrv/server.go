@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/partition"
@@ -115,6 +116,16 @@ type Server struct {
 	DisableTracing bool
 	traceOn        atomic.Bool
 
+	// AnomalySample is the initial sampled fraction of commit decisions
+	// recorded into the anomaly tap (0 disables the tap — unsampled
+	// decisions cost one atomic load). Set before Listen; adjust at
+	// runtime with SetAnomalySampling. The tap feeds a streaming checker
+	// whose verdicts surface as the history_* metric family.
+	AnomalySample float64
+	anomTap       *history.Tap
+	anomChecker   *history.Streaming
+	anomStop      func()
+
 	// The observability plane: stage-delta histograms per op class, the
 	// self-describing registry behind opMetrics and the debug endpoints,
 	// and the slow-request sampling sequence.
@@ -170,6 +181,7 @@ const defaultCoalesceDelay = 200 * time.Microsecond
 func NewServer(so *oracle.StatusOracle) *Server {
 	s := &Server{conns: make(map[net.Conn]struct{}), Logf: log.Printf}
 	s.so.Store(so)
+	s.initAnomaly()
 	return s
 }
 
@@ -178,7 +190,9 @@ func NewServer(so *oracle.StatusOracle) *Server {
 // point promote runs (fencing the old primary and returning the caught-up
 // oracle) and the server starts serving it.
 func NewStandbyServer(promote func() (*oracle.StatusOracle, error)) *Server {
-	return &Server{promoteFn: promote, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s := &Server{promoteFn: promote, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s.initAnomaly()
+	return s
 }
 
 // ErrStandby is returned (over the wire) for data operations sent to a
@@ -213,6 +227,8 @@ func (s *Server) Serve(ln net.Listener) {
 		s.adm = newAdmitter(*s.Ingress)
 	}
 	s.traceOn.Store(!s.DisableTracing)
+	s.anomTap.SetSampling(s.AnomalySample)
+	s.anomStop = s.anomChecker.Run(s.anomTap, anomalyDrainInterval)
 	s.Registry() // materialize the metrics plane before the first request
 	s.ln = ln
 	s.wg.Add(1)
@@ -315,6 +331,9 @@ func (s *Server) Close() error {
 	}
 	if c := s.qcoal.Load(); c != nil {
 		c.stop()
+	}
+	if s.anomStop != nil {
+		s.anomStop() // final drain: every recorded decision is checked
 	}
 	return err
 }
@@ -689,6 +708,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		if err != nil {
 			return s.respMaybeExpired(ctx, reqID, err)
 		}
+		s.tapCommit(&ctx.single, res)
 		return encodeCommitResult(ok, res)
 	case opCommitBatch:
 		reqs, err := decodeCommitBatchReqInto(ctx.reqs, payload)
@@ -707,6 +727,9 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 			return respError(reqID, err)
 		}
 		ctx.results = results
+		for i := range reqs {
+			s.tapCommit(&reqs[i], results[i])
+		}
 		return appendCommitBatchResp(ok, results)
 	case opAbort:
 		ts, err := parseU64(payload)

@@ -104,6 +104,7 @@ func (s *Server) initRegistry() {
 			so.MetricsSource()(emit)
 		}
 	})
+	s.reg.Register(s.anomChecker.MetricsSource())
 }
 
 // Registry returns the server's metrics registry, creating it on first use.

@@ -208,3 +208,13 @@ func (t *commitTable) queryBatch(startTSs []uint64, out []TxnStatus) {
 func (s *StatusOracle) Forget(startTS uint64) {
 	s.table.forget(startTS)
 }
+
+// LowWater returns the commit-table eviction low-water mark: every
+// transaction with start timestamp at or below it has been evicted (its
+// status answers Unknown). The mark only rises, and it rises before the
+// entries below it disappear, which makes it a safe external eviction key
+// for downstream sliding windows (the streaming anomaly checker keys its
+// window off it).
+func (s *StatusOracle) LowWater() uint64 {
+	return s.table.lowWater.Load()
+}

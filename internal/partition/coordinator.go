@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/oracle"
@@ -58,6 +59,10 @@ type Stats struct {
 	CrossTxns    int64
 	CrossCommits int64
 	CrossAborts  int64
+	// ExpiredDecides counts cross-partition rounds released early at the
+	// decide-wait because the caller's deadline had passed (the fan-out
+	// completed in the background).
+	ExpiredDecides int64
 	// RoutingEpoch is the current routing-table epoch; Moves counts the
 	// live range migrations the coordinator has completed.
 	RoutingEpoch uint64
@@ -125,10 +130,13 @@ type Coordinator struct {
 	subs  []*oracle.Subscription
 
 	// decideWG tracks in-flight background decide rounds (AsyncDecide);
-	// decideErr latches their first failure.
-	decideWG  sync.WaitGroup
-	decideMu  sync.Mutex
-	decideErr error
+	// decideErr latches their first failure. expiredDecides counts rounds
+	// whose caller's deadline passed at the decide-wait and was released
+	// early (the fan-out continued in the background).
+	decideWG       sync.WaitGroup
+	decideMu       sync.Mutex
+	decideErr      error
+	expiredDecides atomic.Int64
 }
 
 // Errors returned by the coordinator.
@@ -485,17 +493,41 @@ func (co *Coordinator) Commit(req oracle.CommitRequest) (oracle.CommitResult, er
 // epoch-aware redirect; the group — atomically rejected before any state
 // change — is re-routed under the refreshed table and retried once.
 func (co *Coordinator) CommitBatch(reqs []oracle.CommitRequest) ([]oracle.CommitResult, error) {
+	return co.CommitBatchDeadline(reqs, time.Time{})
+}
+
+// CommitBatchDeadline is CommitBatch with an absolute expiry — the
+// cooperative-cancellation hook for callers serving requests under ingress
+// envelope deadlines. An already-expired batch does no work and returns
+// oracle.ErrExpired. A deadline that passes mid-round is honored at the
+// decide-wait: once the verdicts are durably recorded in the decision log
+// they are final and queryable, so the decide fan-out is moved to the
+// background (tracked like AsyncDecide rounds; DrainDecides still waits
+// for it) and the caller gets oracle.ErrExpired back instead of occupying
+// its slot for the slowest partition's decide round trip. A server
+// fronting the coordinator renders that error as an expired reply and
+// counts it in the ingress expired metric, exactly like a coalescer drop;
+// the client resolves the outcome through the in-doubt status machinery.
+func (co *Coordinator) CommitBatchDeadline(reqs []oracle.CommitRequest, deadline time.Time) ([]oracle.CommitResult, error) {
+	if expired(deadline) {
+		return nil, oracle.ErrExpired
+	}
 	results := make([]oracle.CommitResult, len(reqs))
-	if err := co.commitRouted(reqs, results, nil, 0); err != nil {
+	if err := co.commitRouted(reqs, results, nil, 0, deadline); err != nil {
 		return nil, err
 	}
 	return results, nil
 }
 
+// expired reports whether a non-zero absolute deadline has passed.
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
 // commitRouted routes and decides the requests selected by idxs (nil means
 // all of reqs) into results. depth > 0 marks a misroute retry; a group
 // misrouted twice surfaces the error rather than looping.
-func (co *Coordinator) commitRouted(reqs []oracle.CommitRequest, results []oracle.CommitResult, idxs []int, depth int) error {
+func (co *Coordinator) commitRouted(reqs []oracle.CommitRequest, results []oracle.CommitResult, idxs []int, depth int, deadline time.Time) error {
 	co.routeMu.RLock()
 	router := co.router
 	singles := make(map[int][]int)
@@ -574,7 +606,7 @@ func (co *Coordinator) commitRouted(reqs []oracle.CommitRequest, results []oracl
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := co.commitCross(router, reqs, multi, covers, results, noteMisroute); err != nil {
+			if err := co.commitCross(router, reqs, multi, covers, results, noteMisroute, deadline); err != nil {
 				errCh <- err
 			}
 		}()
@@ -603,7 +635,7 @@ func (co *Coordinator) commitRouted(reqs []oracle.CommitRequest, results []oracl
 	if depth > 0 {
 		return redirect
 	}
-	return co.commitRouted(reqs, results, retry, depth+1)
+	return co.commitRouted(reqs, results, retry, depth+1, deadline)
 }
 
 // Pools recycling the coordinator's per-round frame containers. Only the
@@ -809,16 +841,16 @@ func (co *Coordinator) finishCross(multi []int, decisions []oracle.Decision, res
 // the verdicts are durably recorded; it releases as soon as the decision
 // log — which the coordinator's merged queries consult — has them, not
 // when the slower decide fan-out completes.
-func (co *Coordinator) commitCross(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
+func (co *Coordinator) commitCross(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int), deadline time.Time) error {
 	if co.cfg.SharedTSO {
 		// NewCoordinator guarantees the clock is hookable in this mode.
-		return co.commitCrossShared(co.clock.(HookedClock), router, reqs, multi, covers, results, noteMisroute)
+		return co.commitCrossShared(co.clock.(HookedClock), router, reqs, multi, covers, results, noteMisroute, deadline)
 	}
-	return co.commitCrossBarrier(router, reqs, multi, covers, results, noteMisroute)
+	return co.commitCrossBarrier(router, reqs, multi, covers, results, noteMisroute, deadline)
 }
 
 // commitCrossShared is the barrier-free in-process path.
-func (co *Coordinator) commitCrossShared(hc HookedClock, router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
+func (co *Coordinator) commitCrossShared(hc HookedClock, router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int), deadline time.Time) error {
 	round := co.buildSlices(router, reqs, multi, covers, func(int) uint64 { return 0 })
 	votes, mr := co.prepareRound(round, len(multi))
 	if mr != nil {
@@ -854,7 +886,7 @@ func (co *Coordinator) commitCrossShared(hc HookedClock, router Router, reqs []o
 	// the commits in-doubt for the client (surfaced as an error), but they
 	// stand — readers may have observed them.
 	walErr := co.dlog.appendWAL(decisions)
-	decideErr := co.runDecides(round, decisions)
+	decideErr := co.runDecides(round, decisions, deadline)
 	co.finishCross(multi, decisions, results)
 	if walErr != nil {
 		return walErr
@@ -865,9 +897,31 @@ func (co *Coordinator) commitCrossShared(hc HookedClock, router Router, reqs []o
 // runDecides fans the verdicts out — inline, or in the background under
 // AsyncDecide (the verdicts are already durable and queryable, so the ack
 // need not wait; a failure latches and surfaces on the next commit).
-func (co *Coordinator) runDecides(round crossRound, decisions []oracle.Decision) error {
+//
+// A caller whose deadline passed while the verdicts were being recorded is
+// released here instead of waiting out the fan-out: every precondition for
+// backgrounding holds (the decisions are final and queryable through the
+// log), so the round is handed to the AsyncDecide machinery and the caller
+// gets oracle.ErrExpired — cooperative cancellation of post-admission work
+// that nobody is waiting for.
+func (co *Coordinator) runDecides(round crossRound, decisions []oracle.Decision, deadline time.Time) error {
 	if !co.cfg.AsyncDecide {
-		return co.decideRound(round, decisions)
+		if !expired(deadline) {
+			return co.decideRound(round, decisions)
+		}
+		co.expiredDecides.Add(1)
+		co.decideWG.Add(1)
+		go func() {
+			defer co.decideWG.Done()
+			if err := co.decideRound(round, decisions); err != nil {
+				co.decideMu.Lock()
+				if co.decideErr == nil {
+					co.decideErr = err
+				}
+				co.decideMu.Unlock()
+			}
+		}()
+		return oracle.ErrExpired
 	}
 	co.decideWG.Add(1)
 	go func() {
@@ -897,7 +951,7 @@ func (co *Coordinator) DrainDecides() error {
 
 // commitCrossBarrier is the pre-allocated-timestamp path for remote
 // partitions.
-func (co *Coordinator) commitCrossBarrier(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int)) error {
+func (co *Coordinator) commitCrossBarrier(router Router, reqs []oracle.CommitRequest, multi []int, covers [][]int, results []oracle.CommitResult, noteMisroute func(*MisrouteError, []int), deadline time.Time) error {
 	lo, err := co.allocCommitTSs(len(multi))
 	if err != nil {
 		return err
@@ -936,7 +990,7 @@ func (co *Coordinator) commitCrossBarrier(router Router, reqs []oracle.CommitReq
 	// The log now answers queries for these transactions; new snapshots
 	// need not wait for the decide fan-out.
 	release()
-	decideErr := co.runDecides(round, decisions)
+	decideErr := co.runDecides(round, decisions, deadline)
 	co.finishCross(multi, decisions, results)
 	if dlogErr != nil {
 		return dlogErr
@@ -1140,14 +1194,15 @@ func (co *Coordinator) Close() {
 // counters.
 func (co *Coordinator) Stats() Stats {
 	st := Stats{
-		Begins:       co.begins.Load(),
-		SingleTxns:   co.singleTxns.Load(),
-		CrossTxns:    co.crossTxns.Load(),
-		CrossCommits: co.crossCommits.Load(),
-		CrossAborts:  co.crossAborts.Load(),
-		RoutingEpoch: co.Routing().Epoch,
-		Moves:        co.moves.Load(),
-		Partitions:   make([]oracle.Stats, len(co.parts)),
+		Begins:         co.begins.Load(),
+		SingleTxns:     co.singleTxns.Load(),
+		CrossTxns:      co.crossTxns.Load(),
+		CrossCommits:   co.crossCommits.Load(),
+		CrossAborts:    co.crossAborts.Load(),
+		ExpiredDecides: co.expiredDecides.Load(),
+		RoutingEpoch:   co.Routing().Epoch,
+		Moves:          co.moves.Load(),
+		Partitions:     make([]oracle.Stats, len(co.parts)),
 	}
 	for p, b := range co.parts {
 		if ps, err := b.Stats(); err == nil {
@@ -1167,6 +1222,7 @@ func (co *Coordinator) MetricsSource() metrics.Source {
 		emit(metrics.C("partition_cross_txns_total", co.crossTxns.Load()))
 		emit(metrics.C("partition_cross_commits_total", co.crossCommits.Load()))
 		emit(metrics.C("partition_cross_aborts_total", co.crossAborts.Load()))
+		emit(metrics.C("partition_expired_decides_total", co.expiredDecides.Load()))
 		emit(metrics.C("partition_moves_total", co.moves.Load()))
 		emit(metrics.G("partition_routing_epoch", float64(co.Routing().Epoch)))
 	}

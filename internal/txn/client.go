@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/kvstore"
 	"repro/internal/oracle"
 )
@@ -137,6 +138,11 @@ type Config struct {
 	// CommitBatchDelay is how long the pipeliner waits for a batch to
 	// fill before cutting it (default DefaultCommitBatchDelay).
 	CommitBatchDelay time.Duration
+	// Tap, when non-nil, receives sampled transaction lifecycle events
+	// (begin/read/write/commit/abort) for the streaming anomaly checker.
+	// The sampling decision is made once per transaction at Begin; an
+	// unsampled transaction pays one atomic load and nothing else.
+	Tap *history.Tap
 }
 
 // Client runs transactions. Create one per process; it is safe for
@@ -211,12 +217,17 @@ func (c *Client) Begin() (*Txn, error) {
 		return nil, err
 	}
 	c.active.add(ts)
-	return &Txn{
+	t := &Txn{
 		client:  c,
 		startTS: ts,
 		writes:  make(map[string][]byte),
 		reads:   make(map[string]struct{}),
-	}, nil
+	}
+	if tap := c.cfg.Tap; tap != nil && tap.Sampled(ts) {
+		t.tap = tap
+		tap.Record(history.StreamEvent{Kind: history.EvBegin, Start: ts})
+	}
+	return t, nil
 }
 
 // Store returns the underlying store (examples use it for direct loads).

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/history"
 	"repro/internal/oracle"
 )
 
@@ -56,6 +57,43 @@ type Txn struct {
 	// commit request; finishCommit returns them once the arbiter has
 	// decided (no layer retains the hashed sets past the decision).
 	sets *commitSets
+	// tap is the sampled anomaly-lab event sink; nil unless the client
+	// has a Tap configured and this transaction won the sampling draw at
+	// Begin. Recording is allocation-free.
+	tap *history.Tap
+}
+
+// tapRead records one sampled read with the observed version's writer
+// start timestamp (0 = no visible version, t.startTS = own write).
+func (t *Txn) tapRead(key string, obs uint64) {
+	if t.tap != nil {
+		t.tap.Record(history.StreamEvent{
+			Kind: history.EvRead, Start: t.startTS,
+			Item: uint64(oracle.HashRow(key)), Arg: obs,
+		})
+	}
+}
+
+// tapWrite records one sampled write.
+func (t *Txn) tapWrite(key string) {
+	if t.tap != nil {
+		t.tap.Record(history.StreamEvent{
+			Kind: history.EvWrite, Start: t.startTS,
+			Item: uint64(oracle.HashRow(key)),
+		})
+	}
+}
+
+// tapDecision records the transaction's fate once the arbiter decided.
+func (t *Txn) tapDecision(committed bool, commitTS uint64) {
+	if t.tap == nil {
+		return
+	}
+	if committed {
+		t.tap.Record(history.StreamEvent{Kind: history.EvCommit, Start: t.startTS, Arg: commitTS})
+	} else {
+		t.tap.Record(history.StreamEvent{Kind: history.EvAbort, Start: t.startTS})
+	}
 }
 
 // commitSets is a pooled pair of row-set buffers for prepareCommit: commit
@@ -85,12 +123,14 @@ func (t *Txn) Get(key string) (value []byte, ok bool, err error) {
 	}
 	t.reads[key] = struct{}{}
 	if v, mine := t.writes[key]; mine {
+		t.tapRead(key, t.startTS)
 		if v == nil {
 			return nil, false, nil
 		}
 		return append([]byte(nil), v...), true, nil
 	}
-	raw, found := t.snapshotRead(key)
+	raw, obs, found := t.snapshotRead(key)
+	t.tapRead(key, obs)
 	if !found {
 		return nil, false, nil
 	}
@@ -112,10 +152,10 @@ func (t *Txn) Get(key string) (value []byte, ok bool, err error) {
 // transaction commit timestamp"). Pending, aborted and unknown writers are
 // skipped (§2.2). All of the row's candidate versions are resolved in one
 // batched status lookup.
-func (t *Txn) snapshotRead(key string) (raw []byte, found bool) {
+func (t *Txn) snapshotRead(key string) (raw []byte, obs uint64, found bool) {
 	versions := t.client.store.Get(key, t.startTS, 0)
 	if len(versions) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	// Stack-backed buffers keep short version chains — the common Get
 	// shape — off the heap.
@@ -140,10 +180,11 @@ func (t *Txn) snapshotRead(key string) (raw []byte, found bool) {
 		if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
 			bestTC = st.CommitTS
 			raw = versions[i].Value
+			obs = versions[i].TS
 			found = true
 		}
 	}
-	return raw, found
+	return raw, obs, found
 }
 
 // GetMulti reads many keys from the snapshot in one pass: the store fetch
@@ -164,6 +205,7 @@ func (t *Txn) GetMulti(keys []string) (values [][]byte, ok []bool, err error) {
 	for i, key := range keys {
 		t.reads[key] = struct{}{}
 		if v, mine := t.writes[key]; mine {
+			t.tapRead(key, t.startTS)
 			if v != nil {
 				values[i] = append([]byte(nil), v...)
 				ok[i] = true
@@ -189,7 +231,7 @@ func (t *Txn) GetMulti(keys []string) (values [][]byte, ok []bool, err error) {
 	}
 	statuses := t.client.resolveBatch(refs)
 	for k, versions := range perKey {
-		var bestTC uint64
+		var bestTC, obs uint64
 		var raw []byte
 		found := false
 		for i := range versions {
@@ -197,9 +239,11 @@ func (t *Txn) GetMulti(keys []string) (values [][]byte, ok []bool, err error) {
 			if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
 				bestTC = st.CommitTS
 				raw = versions[i].Value
+				obs = versions[i].TS
 				found = true
 			}
 		}
+		t.tapRead(fetch[k], obs)
 		if !found {
 			continue
 		}
@@ -222,6 +266,7 @@ func (t *Txn) Put(key string, value []byte) error {
 	}
 	v := append([]byte(nil), value...)
 	t.writes[key] = v
+	t.tapWrite(key)
 	if !t.client.cfg.DeferWrites {
 		t.client.store.Put(key, t.startTS, encodeValue(value))
 	}
@@ -237,6 +282,7 @@ func (t *Txn) Delete(key string) error {
 		return errReadOnly
 	}
 	t.writes[key] = nil
+	t.tapWrite(key)
 	if !t.client.cfg.DeferWrites {
 		t.client.store.Put(key, t.startTS, encodeTombstone())
 	}
@@ -304,21 +350,28 @@ func (t *Txn) scan(startKey, endKey string, limit int, buckets bool) ([]KV, erro
 	merged := make(map[string][]byte, len(rows))
 	for i, r := range rows {
 		if _, mine := t.writes[r.Key]; mine {
+			if !buckets {
+				t.tapRead(r.Key, t.startTS)
+			}
 			continue // own write overrides
 		}
 		// Same selection rule as snapshotRead: the committed version
 		// with the largest commit timestamp below the snapshot.
-		var bestTC uint64
+		var bestTC, obs uint64
 		for j, v := range r.Versions {
 			st := statuses[offsets[i]+j]
 			if st.Status == oracle.StatusCommitted && st.CommitTS < t.startTS && st.CommitTS > bestTC {
 				bestTC = st.CommitTS
+				obs = v.TS
 				if val, live := decodeValue(v.Value); live {
 					merged[r.Key] = val
 				} else {
 					delete(merged, r.Key)
 				}
 			}
+		}
+		if !buckets {
+			t.tapRead(r.Key, obs)
 		}
 	}
 	for k, v := range t.writes {
@@ -475,6 +528,7 @@ func (t *Txn) finishCommit(res oracle.CommitResult, err error) CommitOutcome {
 		return t.settleInDoubt(err)
 	}
 	if !res.Committed {
+		t.tapDecision(false, 0)
 		t.cleanup()
 		t.client.forget(t.startTS)
 		return CommitOutcome{Err: ErrConflict}
@@ -486,6 +540,7 @@ func (t *Txn) finishCommit(res oracle.CommitResult, err error) CommitOutcome {
 func (t *Txn) applyCommitted(commitTS uint64) CommitOutcome {
 	t.committed = true
 	t.commitTS = commitTS
+	t.tapDecision(true, commitTS)
 	if t.client.cfg.Mode == ModeWriteBack {
 		for k := range t.writes {
 			t.client.store.PutShadow(k, t.startTS, commitTS)
@@ -519,6 +574,7 @@ func (t *Txn) settleInDoubt(cause error) CommitOutcome {
 	case oracle.StatusCommitted:
 		return t.applyCommitted(st.CommitTS)
 	case oracle.StatusAborted:
+		t.tapDecision(false, 0)
 		t.cleanup()
 		t.client.forget(t.startTS)
 		return CommitOutcome{Err: ErrConflict}
@@ -539,6 +595,7 @@ func (t *Txn) Abort() error {
 		return nil
 	}
 	t.client.active.remove(t.startTS)
+	t.tapDecision(false, 0)
 	if len(t.writes) == 0 {
 		return nil
 	}

@@ -8,7 +8,8 @@ cd "$(dirname "$0")/.."
 
 out=$(go test -run=NONE -bench 'BenchmarkCommitBatch|BenchmarkQueryBatch' -benchmem -benchtime 5000x .
       go test -run=NONE -bench 'BenchmarkAdmissionDecision' -benchmem -benchtime 5000x ./internal/netsrv
-      go test -run=NONE -bench 'BenchmarkTraceStamp|BenchmarkAtomicHistogramRecord' -benchmem -benchtime 5000x ./internal/metrics)
+      go test -run=NONE -bench 'BenchmarkTraceStamp|BenchmarkAtomicHistogramRecord' -benchmem -benchtime 5000x ./internal/metrics
+      go test -run=NONE -bench 'BenchmarkTapRecord|BenchmarkTapSampledOut' -benchmem -benchtime 5000x ./internal/history)
 echo "$out"
 echo "---"
 echo "$out" | awk '
