@@ -37,6 +37,7 @@ func main() {
 	bench.IngressJSONPath = *jsonOut
 	bench.ObsJSONPath = *jsonOut
 	bench.AnomalyJSONPath = *jsonOut
+	bench.FailoverJSONPath = *jsonOut
 
 	if *partMax > 0 {
 		var parts []int

@@ -37,6 +37,23 @@
 // acknowledge commits — drains the tail, resumes the timestamp epoch, and
 // starts serving from its own WAL, whose first record is a full checkpoint.
 //
+// Instead of the manual standby/promote pair, a set of servers can run as a
+// self-healing replicated group over a shared ledger directory:
+//
+//	oracle-server -addr :7070 -group /var/lib/wsi/group -node-id 0 -bootstrap
+//	oracle-server -addr :7071 -group /var/lib/wsi/group -node-id 1
+//	oracle-server -addr :7072 -group /var/lib/wsi/group -node-id 2
+//
+// The group elects its own leader: the leader renews an epoch-numbered
+// lease through the quorum ledger append path, followers tail the epoch's
+// ledger into standby shadows (serving stale-bounded status reads and
+// answering data ops with a leader redirect), and when renewals stop the
+// best-caught-up follower seals the old epoch — fencing the dead leader's
+// writer even if it is still running — and promotes itself. Kill -9 the
+// leader and the group heals within ~2 lease durations (-lease-ms); restart
+// it and it rejoins as a follower. Failover clients (netsrv.DialFailover)
+// list every member and follow the redirects automatically.
+//
 // The server can also run as one key slice of a partitioned status oracle
 // (internal/partition):
 //
@@ -55,6 +72,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -105,6 +123,12 @@ func main() {
 		standby      = flag.Bool("standby", false, "run as a hot standby tailing -follow; serve only after a promote request")
 		follow       = flag.String("follow", "", "primary WAL ledger to tail (with -standby)")
 		pollEvery    = flag.Duration("poll", 20*time.Millisecond, "standby tail poll interval (with -standby)")
+
+		groupDir  = flag.String("group", "", "epoch-ledger directory of a self-healing replicated group; runs this server as one member (with -node-id)")
+		nodeID    = flag.Int("node-id", 0, "this member's id in the group; also staggers election timeouts (with -group)")
+		leaseMS   = flag.Int("lease-ms", 1000, "leader lease duration in milliseconds; failover takes ~2 leases (with -group)")
+		bootstrap = flag.Bool("bootstrap", false, "create epoch 1 and lead when the group directory is empty (exactly one member; with -group)")
+		advertise = flag.String("advertise", "", "address redirects and lease records name this member by (default: the bound listen address)")
 
 		partitions  = flag.Int("partitions", 1, "total status-oracle partitions in the deployment (this server is one of them)")
 		partitionID = flag.Int("partition-id", 0, "this server's partition index in [0, -partitions) (with -partitions > 1)")
@@ -176,6 +200,19 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	if *groupDir != "" {
+		gf := groupFlags{
+			dir:       *groupDir,
+			nodeID:    *nodeID,
+			lease:     time.Duration(*leaseMS) * time.Millisecond,
+			bootstrap: *bootstrap,
+			advertise: *advertise,
+			fsync:     *fsync,
+			ckpt:      *ckptInterval,
+		}
+		runGroup(cfg, *addr, gf, *coalesce, *coalesceDelay, ing, obs, sig)
+		return
+	}
 	if *standby {
 		runStandby(cfg, *addr, *follow, *walPath, *fsync, *pollEvery, *coalesce, *coalesceDelay, ing, obs, role, sig)
 		return
@@ -428,6 +465,83 @@ func runPrimary(cfg oracle.Config, addr, walPath string, fsync bool, ckptInterva
 	if ledger != nil {
 		ledger.Close()
 	}
+}
+
+// groupFlags carries the replicated-group knobs from main to runGroup.
+type groupFlags struct {
+	dir       string
+	nodeID    int
+	lease     time.Duration
+	bootstrap bool
+	advertise string
+	fsync     bool
+	ckpt      time.Duration
+}
+
+// runGroup runs the server as one member of a self-healing replicated
+// group. The ha.Member engine owns every role transition: it installs the
+// oracle on the server when this member wins an election (OnLead) and
+// deposes it back to a redirecting standby when the member steps down or
+// observes a higher epoch (OnFollow). Data ops sent here while following
+// answer a leader redirect built from replayed lease records; status reads
+// are served from the follower's shadow at bounded staleness.
+func runGroup(cfg oracle.Config, addr string, gf groupFlags, coalesce int, coalesceDelay time.Duration, ing ingressFlags, obs obsFlags, sig chan os.Signal) {
+	store := &ha.DirStore{Dir: gf.dir, Sync: gf.fsync}
+	srv := netsrv.NewStandbyServer(nil)
+	configureCoalescing(srv, coalesce, coalesceDelay)
+	ing.apply(srv)
+	obs.apply(srv)
+
+	// Bind before building the member so lease records can advertise the
+	// actual bound address (":0" resolves to a concrete port), but start
+	// serving only after the member's hooks are installed.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("oracle-server: listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	adv := gf.advertise
+	if adv == "" {
+		adv = bound
+	}
+	m := ha.NewMember(ha.MemberConfig{
+		ID:              gf.nodeID,
+		Addr:            adv,
+		Store:           store,
+		Oracle:          cfg,
+		WAL:             wal.DefaultConfig(),
+		Lease:           gf.lease,
+		Bootstrap:       gf.bootstrap,
+		CheckpointEvery: gf.ckpt,
+		OnLead: func(so *oracle.StatusOracle, epoch uint64) {
+			srv.Install(so)
+			log.Printf("oracle-server: node %d leading epoch %d (serving on %s)", gf.nodeID, epoch, bound)
+		},
+		OnFollow: func(epoch uint64) {
+			srv.Depose()
+			log.Printf("oracle-server: node %d following epoch %d (standby reads + redirects)", gf.nodeID, epoch)
+		},
+		Logf: log.Printf,
+	})
+	srv.LeaderHint = m.LeaderHint
+	srv.StandbyReads = m.QueryBatchInto
+	srv.Serve(ln)
+	srv.Registry().Register(m.MetricsSource())
+	if err := m.Start(); err != nil {
+		log.Fatalf("oracle-server: group member: %v", err)
+	}
+	log.Printf("oracle-server: %s engine group member %d on %s (ledgers %s, lease %v, advertised %s)",
+		cfg.Engine, gf.nodeID, bound, gf.dir, gf.lease, adv)
+	obs.start(srv)
+
+	<-sig
+	log.Printf("oracle-server: shutting down group member %d (role %v, epoch %d)", gf.nodeID, m.Role(), m.Epoch())
+	if err := srv.Close(); err != nil {
+		log.Printf("oracle-server: close: %v", err)
+	}
+	// Stopping the member releases the lease path cleanly: a leader stops
+	// renewing and the rest of the group elects after expiry.
+	m.Stop()
 }
 
 func runStandby(cfg oracle.Config, addr, follow, walPath string, fsync bool, pollEvery time.Duration, coalesce int, coalesceDelay time.Duration, ing ingressFlags, obs obsFlags, role *partitionRole, sig chan os.Signal) {

@@ -112,8 +112,14 @@ type Standby struct {
 	tail     *wal.Tailer
 	tsoBound uint64
 	applied  int64
+	observed int64 // every record tailed, including lease/tso/foreign ones
 	promoted bool
 	lastErr  atomic.Value // error: latest tail failure, cleared on success
+
+	// Leadership as observed from lease records in the tailed log.
+	leaseEpoch uint64
+	leaseSeq   uint64
+	leaderAddr string
 
 	runStop chan struct{}
 	runDone chan struct{}
@@ -153,9 +159,16 @@ func (s *Standby) catchUpLocked() (int, error) {
 		if !ok {
 			return n, nil
 		}
+		s.observed++
 		if bound, isT := tso.DecodeRecord(entry); isT {
 			if bound > s.tsoBound {
 				s.tsoBound = bound
+			}
+			continue
+		}
+		if epoch, seq, addr, isLease := DecodeLeaseRecord(entry); isLease {
+			if epoch > s.leaseEpoch || (epoch == s.leaseEpoch && seq > s.leaseSeq) {
+				s.leaseEpoch, s.leaseSeq, s.leaderAddr = epoch, seq, addr
 			}
 			continue
 		}
@@ -243,6 +256,66 @@ func (s *Standby) Applied() (records int64, tsoBound uint64) {
 	return s.applied, s.tsoBound
 }
 
+// Observed returns how many log records of any kind the standby has
+// tailed. The failure detector watches it: a live leader renews its lease
+// through the log, so Observed advances at least once per renewal period.
+func (s *Standby) Observed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observed
+}
+
+// Lease returns the newest leadership claim observed in the log: the
+// epoch and renewal sequence of the latest lease record, and the leader
+// address it advertised ("" before any lease record).
+func (s *Standby) Lease() (epoch, seq uint64, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaseEpoch, s.leaseSeq, s.leaderAddr
+}
+
+// Retarget points the standby at a different ledger — the new leader's
+// epoch log after an election this standby lost. It is safe because a
+// promoted log's first record is a full checkpoint, which resets the
+// shadow wholesale when applied; nothing stale survives the switch.
+func (s *Standby) Retarget(read wal.Ledger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tail = wal.NewTailer(read)
+}
+
+// QueryBatchInto serves a stale-bounded read from the shadow commit
+// table: result[i] answers startTSs[i] as of the standby's applied log
+// prefix. Because the WAL is applied in log order, the answer is
+// prefix-consistent — it is exactly the primary's state as of some recent
+// log position, never a mix — and the staleness bound is Lag() records
+// (surfaced as ha_standby_lag_records). Serialized against CatchUp under
+// s.mu, so reads never observe a half-applied checkpoint reset.
+func (s *Standby) QueryBatchInto(startTSs []uint64, scratch []oracle.TxnStatus) []oracle.TxnStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shadow.QueryBatchInto(startTSs, scratch)
+}
+
+// Lag reports how many log records the standby is behind the ledger's
+// current end — the staleness bound of its reads. Control-plane cost:
+// proportional to the backlog, capped at 1024 unread batches (the result
+// is then a lower bound).
+func (s *Standby) Lag() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted {
+		return 0, nil
+	}
+	return s.tail.Lag(1024)
+}
+
+// ErrElectionLost is returned by Promote when another candidate sealed a
+// quorum of the fence ledgers at the proposed epoch first. The loser's
+// standby is untouched — it retargets onto the winner's log and keeps
+// tailing.
+var ErrElectionLost = errors.New("ha: election lost: seal epoch superseded on a quorum")
+
 // PromoteConfig parameterizes a fenced promotion.
 type PromoteConfig struct {
 	// Fence lists the old primary's ledgers to seal. With a write quorum
@@ -251,12 +324,26 @@ type PromoteConfig struct {
 	// MinSeals sets that requirement (0 means all of Fence).
 	Fence    []wal.Ledger
 	MinSeals int
+	// FenceEpoch, when nonzero, makes the fence an election: each Fence
+	// ledger is sealed with wal.SealEpoch(FenceEpoch), and only seals this
+	// call newly won count toward MinSeals — a ledger already sealed at
+	// FenceEpoch (or higher) by a rival candidate counts against it. Each
+	// ledger grants an epoch at most once, so with MinSeals a majority of
+	// Fence, two candidates proposing the same epoch cannot both promote:
+	// the loser gets ErrElectionLost and its standby stays intact. The
+	// epoch is thereby the fencing token, derived from the seal itself.
+	FenceEpoch uint64
 	// WAL is the promoted oracle's writer (typically over fresh ledgers).
 	// The promotion writes a full checkpoint as its first record, so the
 	// new log is self-contained: recovering the promoted oracle never
 	// needs the sealed history. Nil leaves the promoted oracle
 	// memory-only.
 	WAL *wal.Writer
+	// NewWAL, when non-nil, takes precedence over WAL: it is called only
+	// after the fence quorum is won, so an election candidate creates the
+	// next epoch's ledger set exactly when it holds the fence — losers
+	// never create a rival log.
+	NewWAL func() (*wal.Writer, error)
 	// TSOBatch is the promoted timestamp oracle's reservation block size
 	// (0 selects the default).
 	TSOBatch int
@@ -287,10 +374,19 @@ func (s *Standby) Promote(pc PromoteConfig) (*oracle.StatusOracle, error) {
 	if need <= 0 {
 		need = len(pc.Fence)
 	}
-	sealed := 0
+	sealed, superseded := 0, 0
 	var sealErr error
 	for _, l := range pc.Fence {
-		if err := wal.Seal(l); err != nil {
+		var err error
+		if pc.FenceEpoch > 0 {
+			err = wal.SealEpoch(l, pc.FenceEpoch)
+		} else {
+			err = wal.Seal(l)
+		}
+		if err != nil {
+			if errors.Is(err, wal.ErrEpochSuperseded) {
+				superseded++
+			}
 			if sealErr == nil {
 				sealErr = err
 			}
@@ -299,6 +395,10 @@ func (s *Standby) Promote(pc PromoteConfig) (*oracle.StatusOracle, error) {
 		sealed++
 	}
 	if sealed < need {
+		if superseded > 0 {
+			return nil, fmt.Errorf("%w: won %d/%d seals at epoch %d (need %d): %v",
+				ErrElectionLost, sealed, len(pc.Fence), pc.FenceEpoch, need, sealErr)
+		}
 		return nil, fmt.Errorf("ha: fence failed: sealed %d/%d ledgers (need %d): %v",
 			sealed, len(pc.Fence), need, sealErr)
 	}
@@ -307,9 +407,16 @@ func (s *Standby) Promote(pc PromoteConfig) (*oracle.StatusOracle, error) {
 		return nil, err
 	}
 
-	clock := tso.Resume(s.tsoBound, pc.TSOBatch, pc.WAL)
-	s.shadow.Promote(clock, pc.WAL)
-	if pc.WAL != nil {
+	w := pc.WAL
+	if pc.NewWAL != nil {
+		var err error
+		if w, err = pc.NewWAL(); err != nil {
+			return nil, fmt.Errorf("ha: create promoted WAL: %w", err)
+		}
+	}
+	clock := tso.Resume(s.tsoBound, pc.TSOBatch, w)
+	s.shadow.Promote(clock, w)
+	if w != nil {
 		if err := s.shadow.Checkpoint(); err != nil {
 			return nil, fmt.Errorf("ha: initial checkpoint: %w", err)
 		}
@@ -326,6 +433,9 @@ func (s *Standby) MetricsSource() metrics.Source {
 		records, bound := s.Applied()
 		emit(metrics.C("ha_standby_applied_records", records))
 		emit(metrics.G("ha_standby_tso_bound", float64(bound)))
+		if lag, err := s.Lag(); err == nil {
+			emit(metrics.G("ha_standby_lag_records", float64(lag)))
+		}
 		failed := 0.0
 		if s.Err() != nil {
 			failed = 1

@@ -1,0 +1,42 @@
+package ha
+
+import "encoding/binary"
+
+// Lease records travel through the same quorum ledger append path as
+// commit records, which is the whole point: a lease renewal is durable iff
+// the leader still commands a write quorum of the current epoch's ledgers,
+// so lease ownership and log authority cannot diverge. A leader whose
+// renewal fails with wal.ErrFenced has been deposed by a successor's
+// epoch seal and steps down; a standby that stops observing new records
+// (lease or otherwise) for a full lease duration starts an election.
+//
+// Layout: [1] magic 'L' | [8] epoch | [8] seq | [2] addr len | addr bytes.
+const leaseMagic = 0x4C // 'L'
+
+// EncodeLeaseRecord renders one lease renewal for epoch by the leader
+// reachable at addr. seq increases per renewal so observers can distinguish
+// fresh renewals from replayed history.
+func EncodeLeaseRecord(epoch, seq uint64, addr string) []byte {
+	b := make([]byte, 1+8+8+2+len(addr))
+	b[0] = leaseMagic
+	binary.BigEndian.PutUint64(b[1:9], epoch)
+	binary.BigEndian.PutUint64(b[9:17], seq)
+	binary.BigEndian.PutUint16(b[17:19], uint16(len(addr)))
+	copy(b[19:], addr)
+	return b
+}
+
+// DecodeLeaseRecord parses a lease record; ok is false for any other
+// record type (the status oracle likewise skips lease records it replays).
+func DecodeLeaseRecord(entry []byte) (epoch, seq uint64, addr string, ok bool) {
+	if len(entry) < 19 || entry[0] != leaseMagic {
+		return 0, 0, "", false
+	}
+	n := int(binary.BigEndian.Uint16(entry[17:19]))
+	if len(entry) < 19+n {
+		return 0, 0, "", false
+	}
+	return binary.BigEndian.Uint64(entry[1:9]),
+		binary.BigEndian.Uint64(entry[9:17]),
+		string(entry[19 : 19+n]), true
+}

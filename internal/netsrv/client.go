@@ -1,9 +1,11 @@
 package netsrv
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,6 +32,15 @@ type Client struct {
 	addr  string
 	addrs []string // failover set; empty disables reconnection
 
+	// Reconnect pacing (set by DialFailover): between full sweeps of the
+	// address set, the client sleeps a jittered exponential backoff
+	// starting at backoffBase and capped at backoffCap, until redialBudget
+	// has elapsed. Zero values disable the retry sweeps (one pass, as the
+	// pre-group client behaved).
+	backoffBase  time.Duration
+	backoffCap   time.Duration
+	redialBudget time.Duration
+
 	// reconnectMu serializes reconnection attempts; it is taken WITHOUT
 	// c.mu so the dials never stall concurrent calls on a live
 	// connection, Close, or the read loop.
@@ -37,7 +48,8 @@ type Client struct {
 
 	mu      sync.Mutex
 	conn    net.Conn
-	cur     int // index into addrs of the live connection
+	cur     int    // index into addrs of the live connection
+	hint    string // leader address learned from a codeNotLeader redirect
 	nextID  uint64
 	pending map[uint64]chan response
 	err     error // connection failure; reconnectable unless closed
@@ -100,9 +112,41 @@ func Dial(addr string) (*Client, error) {
 // stall a failover longer than the next address would take to answer.
 const dialTimeout = time.Second
 
+// Reconnect pacing defaults: a lost leader is usually re-elected within a
+// couple of lease durations, so the sweeps start fast (a few ms) and back
+// off exponentially with jitter — a thundering herd of clients re-dialing a
+// freshly elected leader spreads out instead of arriving in lockstep. The
+// budget bounds how long one call may block in reconnection before its
+// error surfaces to the caller.
+const (
+	defaultBackoffBase  = 2 * time.Millisecond
+	defaultBackoffCap   = 250 * time.Millisecond
+	defaultRedialBudget = 3 * time.Second
+)
+
+// NotLeaderError reports a data operation sent to a replicated-group member
+// that is not the leader, carrying the member's belief of where the leader
+// is. The failover client follows the hint transparently (the server
+// rejected the request before executing it, so the retry can never
+// double-submit); it surfaces only when the hint cannot be followed.
+type NotLeaderError struct {
+	Epoch uint64
+	Addr  string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Addr == "" {
+		return "netsrv: not the group leader"
+	}
+	return fmt.Sprintf("netsrv: not the group leader (epoch %d at %s)", e.Epoch, e.Addr)
+}
+
 // DialFailover connects to the first reachable address and fails over
-// across the whole set on connection loss. The set should list the primary
-// first and the standby (or standbys) after it.
+// across the whole set on connection loss: re-dials sweep the set with
+// jittered exponential backoff until the redial budget elapses, and a
+// codeNotLeader redirect steers the next dial straight at the hinted
+// leader. The set should list the whole group; order only biases the first
+// connection.
 func DialFailover(addrs ...string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("netsrv: DialFailover needs at least one address")
@@ -116,18 +160,27 @@ func DialFailover(addrs ...string) (*Client, error) {
 			}
 			continue
 		}
-		c := &Client{addr: addr, addrs: addrs, cur: i, conn: conn, pending: make(map[uint64]chan response)}
+		c := &Client{
+			addr: addr, addrs: addrs, cur: i, conn: conn,
+			pending:      make(map[uint64]chan response),
+			backoffBase:  defaultBackoffBase,
+			backoffCap:   defaultBackoffCap,
+			redialBudget: defaultRedialBudget,
+		}
 		go c.readLoop(conn)
 		return c, nil
 	}
 	return nil, fmt.Errorf("netsrv: no address reachable: %w", firstErr)
 }
 
-// reconnect re-dials the failover set starting after the address that
-// just failed. The dials run outside c.mu (under reconnectMu, so only one
-// goroutine sweeps the addresses at a time); c.mu is retaken only to
-// install the new connection. Returns nil once the client has a live
-// connection — whether established by this call or by a racing one.
+// reconnect re-dials the failover set — the redirect hint (leader address
+// learned from a codeNotLeader reply) first, then the configured addresses
+// starting after the one that just failed. Failed sweeps repeat with
+// jittered exponential backoff until the redial budget elapses. The dials
+// run outside c.mu (under reconnectMu, so only one goroutine sweeps at a
+// time); c.mu is retaken only to install the new connection. Returns nil
+// once the client has a live connection — whether established by this call
+// or by a racing one.
 func (c *Client) reconnect() error {
 	c.reconnectMu.Lock()
 	defer c.reconnectMu.Unlock()
@@ -142,32 +195,73 @@ func (c *Client) reconnect() error {
 		return nil // a racing caller already reconnected
 	}
 	lastErr := c.err
-	cur := c.cur
-	addrs := c.addrs
 	c.mu.Unlock()
 
-	for i := 1; i <= len(addrs); i++ {
-		idx := (cur + i) % len(addrs)
-		conn, err := net.DialTimeout("tcp", addrs[idx], dialTimeout)
-		if err != nil {
-			continue
+	var deadline time.Time
+	if c.redialBudget > 0 {
+		deadline = time.Now().Add(c.redialBudget)
+	}
+	backoff := c.backoffBase
+	if backoff <= 0 {
+		backoff = defaultBackoffBase
+	}
+	for {
+		c.mu.Lock()
+		hint, cur, addrs := c.hint, c.cur, c.addrs
+		c.mu.Unlock()
+		// One sweep: hinted leader first, then round-robin from the
+		// address after the one that failed.
+		try := make([]string, 0, len(addrs)+1)
+		if hint != "" {
+			try = append(try, hint)
+		}
+		for i := 1; i <= len(addrs); i++ {
+			if a := addrs[(cur+i)%len(addrs)]; a != hint {
+				try = append(try, a)
+			}
+		}
+		for _, addr := range try {
+			conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.mu.Lock()
+			if c.closed {
+				err := c.err
+				c.mu.Unlock()
+				conn.Close()
+				return err
+			}
+			c.conn = conn
+			c.addr = addr
+			for i, a := range addrs {
+				if a == addr {
+					c.cur = i
+					break
+				}
+			}
+			c.err = nil
+			c.mu.Unlock()
+			go c.readLoop(conn)
+			return nil
+		}
+		if deadline.IsZero() || !time.Now().Before(deadline) {
+			return lastErr
+		}
+		// Jittered exponential backoff between sweeps: sleep in
+		// [backoff/2, backoff) so reconnecting clients spread out.
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		if backoff *= 2; backoff > c.backoffCap && c.backoffCap > 0 {
+			backoff = c.backoffCap
 		}
 		c.mu.Lock()
-		if c.closed {
-			err := c.err
-			c.mu.Unlock()
-			conn.Close()
-			return err
-		}
-		c.conn = conn
-		c.cur = idx
-		c.addr = addrs[idx]
-		c.err = nil
+		closed := c.closed
 		c.mu.Unlock()
-		go c.readLoop(conn)
-		return nil
+		if closed {
+			return lastErr
+		}
 	}
-	return lastErr
 }
 
 // Close tears down the connection and any subscription connections.
@@ -254,11 +348,67 @@ func (c *Client) callResp(op byte, payload []byte) (response, error) {
 	return c.callRespEnv(op, payload, nil)
 }
 
+// maxLeaderRedirects bounds how many codeNotLeader hints one call will
+// chase before surfacing the NotLeaderError (a partitioned group whose
+// members point at each other must not loop forever).
+const maxLeaderRedirects = 2
+
 // callRespEnv is callResp with an optional ingress envelope: when env is
 // non-nil the request travels as opEnvelope carrying tenant, session and
 // deadline budget, and the inner op rides inside. Session mux handles go
 // through here; bare clients pass nil and stay wire-identical to old peers.
+//
+// A codeNotLeader reply is followed transparently: the member rejected the
+// request before executing it, so re-dialing the hinted leader and
+// resending is safe — unlike a lost connection, where the in-flight
+// request is in doubt and must never be resubmitted.
 func (c *Client) callRespEnv(op byte, payload []byte, env *envelope) (response, error) {
+	for redirects := 0; ; redirects++ {
+		resp, err := c.callRespOnce(op, payload, env)
+		if err != nil && redirects < maxLeaderRedirects {
+			var nl *NotLeaderError
+			if errors.As(err, &nl) && c.followLeader(nl.Addr) {
+				continue
+			}
+		}
+		return resp, err
+	}
+}
+
+// followLeader points the client at the hinted leader address and
+// reconnects there, reporting whether a retry is worthwhile. In-flight
+// requests on the abandoned connection fail exactly as on a connection
+// loss (in doubt, settled via ResolveStatus); the hinted redial itself is
+// biased to the leader by reconnect's hint preference.
+func (c *Client) followLeader(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	c.mu.Lock()
+	if c.closed || len(c.addrs) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	if c.err == nil && c.addr == addr {
+		// Already connected to the hinted address and it still refuses:
+		// the hint is stale (e.g. a deposed leader that has not noticed
+		// yet); surface the error instead of spinning.
+		c.mu.Unlock()
+		return false
+	}
+	c.hint = addr
+	if c.err == nil {
+		conn := c.conn
+		c.failLocked(fmt.Errorf("netsrv: redirected to leader at %s", addr))
+		conn.Close()
+	}
+	c.mu.Unlock()
+	return c.reconnect() == nil
+}
+
+// callRespOnce issues one request on the current connection (reconnecting
+// first if it is down) and decodes the response codes into typed errors.
+func (c *Client) callRespOnce(op byte, payload []byte, env *envelope) (response, error) {
 	ch := respChPool.Get().(chan response)
 	c.mu.Lock()
 	if c.err != nil {
@@ -347,6 +497,16 @@ func (c *Client) callRespEnv(op byte, payload []byte, env *envelope) (response, 
 	if resp.code == codeExpired {
 		putRespBuf(resp)
 		return response{}, ErrDeadlineExceeded
+	}
+	if resp.code == codeNotLeader {
+		// The member is not the group leader; its hint names the member
+		// it believes is. callRespEnv chases the hint transparently.
+		epoch, addr, perr := parseRoutingPayload(resp.payload)
+		putRespBuf(resp)
+		if perr != nil {
+			return response{}, perr
+		}
+		return response{}, &NotLeaderError{Epoch: epoch, Addr: addr}
 	}
 	return resp, nil
 }
@@ -665,12 +825,60 @@ func (c *Client) Promote() error {
 // uses to settle in-doubt commits after a transport failure: unlike Query,
 // which degrades to pending, it reports whether the answer actually came
 // from a server. It rides the batched query op, so the answer reflects the
-// (possibly newly promoted) server's commit table.
+// (possibly newly promoted) server's commit table — and a group member
+// that is not leading still answers it from its standby shadow.
 func (c *Client) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
+	return c.resolveStatusEnv(startTS, nil)
+}
+
+// ResolveStatusCtx is ResolveStatus bounded by ctx: the context's remaining
+// budget travels in the request envelope (so server-side parking honors
+// it), and the client-side wait — including any reconnection backoff the
+// failover path performs — is abandoned when ctx expires. The transaction
+// layer uses it to bound how long an in-doubt settlement may block.
+func (c *Client) ResolveStatusCtx(ctx context.Context, startTS uint64) (oracle.TxnStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return oracle.TxnStatus{}, err
+	}
+	var env *envelope
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return oracle.TxnStatus{}, context.DeadlineExceeded
+		}
+		us := remain.Microseconds()
+		if us <= 0 {
+			us = 1
+		}
+		if us > maxDeadlineMicros {
+			us = maxDeadlineMicros
+		}
+		env = &envelope{deadline: uint32(us)}
+	}
+	type result struct {
+		st  oracle.TxnStatus
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := c.resolveStatusEnv(startTS, env)
+		done <- result{st, err}
+	}()
+	select {
+	case <-ctx.Done():
+		// The lookup keeps running in the background (bounded by the
+		// redial budget) but the caller stops waiting for it.
+		return oracle.TxnStatus{}, ctx.Err()
+	case r := <-done:
+		return r.st, r.err
+	}
+}
+
+func (c *Client) resolveStatusEnv(startTS uint64, env *envelope) (oracle.TxnStatus, error) {
 	ts := [1]uint64{startTS}
 	pb := getPayloadBuf()
 	*pb = appendQueryBatchReq((*pb)[:0], ts[:])
-	resp, err := c.callResp(opQueryBatch, *pb)
+	resp, err := c.callRespEnv(opQueryBatch, *pb, env)
 	putPayloadBuf(pb)
 	if err != nil {
 		return oracle.TxnStatus{}, err

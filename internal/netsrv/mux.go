@@ -156,6 +156,29 @@ func (s *Session) Query(startTS uint64) (oracle.TxnStatus, error) {
 	return st, err
 }
 
+// ResolveStatus is the error-aware status lookup used to settle in-doubt
+// commits, carried through the session's envelope so it shares the
+// session's admission class and deadline budget.
+func (s *Session) ResolveStatus(startTS uint64) (oracle.TxnStatus, error) {
+	pb := getPayloadBuf()
+	ts := [1]uint64{startTS}
+	*pb = appendQueryBatchReq((*pb)[:0], ts[:])
+	resp, err := s.c.callRespEnv(opQueryBatch, *pb, &s.env)
+	putPayloadBuf(pb)
+	if err != nil {
+		return oracle.TxnStatus{}, err
+	}
+	statuses, err := decodeQueryBatchResp(resp.payload)
+	putRespBuf(resp)
+	if err != nil {
+		return oracle.TxnStatus{}, err
+	}
+	if len(statuses) != 1 {
+		return oracle.TxnStatus{}, ErrBadFrame
+	}
+	return statuses[0], nil
+}
+
 // Forget drops an aborted transaction's record after cleanup.
 func (s *Session) Forget(startTS uint64) error {
 	resp, err := s.c.callRespEnv(opForget, u64(startTS), &s.env)

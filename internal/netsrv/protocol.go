@@ -100,6 +100,15 @@ const (
 	// — at admission, while parked in an admission queue, or at batch-cut
 	// time inside a coalescer. No payload.
 	codeExpired = 5
+	// codeNotLeader answers a data operation sent to a replicated-group
+	// member that is not (or no longer) the leader — either a standby, or a
+	// leader that lost its lease mid-request (its append failed the epoch
+	// fence). The payload carries the member's current belief of where the
+	// leader is: epoch(u64) addr(string), same shape as codeRedirect's
+	// routing payload. The request was rejected before execution, so the
+	// client may transparently re-dial the hinted address and retry without
+	// ever double-submitting.
+	codeNotLeader = 6
 )
 
 // Shed-reason bytes carried by codeOverload replies.

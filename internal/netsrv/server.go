@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/partition"
+	"repro/internal/wal"
 )
 
 // Server serves a status oracle over TCP. Requests on one connection are
@@ -40,6 +41,22 @@ type Server struct {
 	// Logf, when set, receives per-connection error logs (defaults to
 	// log.Printf; tests silence it).
 	Logf func(format string, args ...interface{})
+
+	// LeaderHint, when set, marks this server as one member of a
+	// self-healing replicated group: data operations that arrive while the
+	// member is not leading (or after its oracle was fenced mid-request)
+	// answer codeNotLeader carrying the hint's (epoch, addr), so a failover
+	// client re-dials the leader instead of failing. An empty addr falls
+	// back to a plain ErrStandby error. Set before Listen.
+	LeaderHint func() (epoch uint64, addr string)
+
+	// StandbyReads, when set alongside LeaderHint, serves opQuery and
+	// opQueryBatch from the member's local standby shadow while it is not
+	// leading: stale-bounded reads stay available through elections. The
+	// callback follows QueryBatchInto conventions (scratch reuse); ok
+	// false means no shadow is attached yet and the request is answered
+	// codeNotLeader like any other data op. Set before Listen.
+	StandbyReads func(startTSs []uint64, scratch []oracle.TxnStatus) ([]oracle.TxnStatus, bool)
 
 	// OwnsRow, when set, marks this server as one partition of a
 	// partitioned status oracle: commit, prepare and one-shot requests
@@ -205,6 +222,39 @@ func (s *Server) oracle() *oracle.StatusOracle { return s.so.Load() }
 // Promoted reports whether the server is serving an oracle.
 func (s *Server) Promoted() bool { return s.oracle() != nil }
 
+// Install makes the server serve so, replacing (and stopping) the
+// coalescers of any previously served oracle. A group member's OnLead
+// callback installs its freshly promoted oracle here; handlers racing the
+// swap fail cleanly (the stopped coalescer rejects parked submits, and the
+// fenced old oracle rejects appends), never serve torn state.
+func (s *Server) Install(so *oracle.StatusOracle) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	s.stopCoalescers()
+	if so != nil {
+		s.startCoalescers(so)
+	}
+	s.so.Store(so)
+}
+
+// Depose returns the server to standby role: data operations answer
+// codeNotLeader (or ErrStandby without a LeaderHint) until the next
+// Install. A group member's OnFollow callback calls it when the member
+// steps down after losing its lease.
+func (s *Server) Depose() { s.Install(nil) }
+
+// stopCoalescers detaches and stops the running coalescers; submits parked
+// in them fail with ErrServerClosed. Caller holds promoteMu (or is Close,
+// after the handler drain).
+func (s *Server) stopCoalescers() {
+	if c := s.coal.Swap(nil); c != nil {
+		c.stop()
+	}
+	if c := s.qcoal.Swap(nil); c != nil {
+		c.stop()
+	}
+}
+
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address. Serve loops run in background goroutines.
 func (s *Server) Listen(addr string) (string, error) {
@@ -326,12 +376,7 @@ func (s *Server) Close() error {
 	// Handlers drain first (requests parked in the coalescers still get
 	// their decisions), then the coalescer loops are stopped.
 	s.wg.Wait()
-	if c := s.coal.Load(); c != nil {
-		c.stop()
-	}
-	if c := s.qcoal.Load(); c != nil {
-		c.stop()
-	}
+	s.stopCoalescers()
 	if s.anomStop != nil {
 		s.anomStop() // final drain: every recorded decision is checked
 	}
@@ -679,13 +724,40 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		return metrics.AppendSamples(ok, s.Registry().Gather())
 	}
 	if so == nil {
-		return respError(reqID, ErrStandby)
+		// A group member that is not leading still answers status reads
+		// from its standby shadow (stale-bounded availability through
+		// elections); everything else is redirected to the leader.
+		if s.StandbyReads != nil {
+			switch op {
+			case opQuery:
+				ts, err := parseU64(payload)
+				if err != nil {
+					return respError(reqID, err)
+				}
+				ctx.tss = append(ctx.tss[:0], ts)
+				if sts, served := s.StandbyReads(ctx.tss, ctx.sts); served {
+					ctx.sts = sts
+					return appendTxnStatus(ok, sts[0])
+				}
+			case opQueryBatch:
+				startTSs, err := decodeQueryBatchReqInto(ctx.tss, payload)
+				if err != nil {
+					return respError(reqID, err)
+				}
+				ctx.tss = startTSs
+				if sts, served := s.StandbyReads(startTSs, ctx.sts); served {
+					ctx.sts = sts
+					return appendQueryBatchResp(ok, sts)
+				}
+			}
+		}
+		return s.respNotLeader(reqID, ErrStandby)
 	}
 	switch op {
 	case opBegin:
 		ts, err := so.Begin()
 		if err != nil {
-			return respError(reqID, err)
+			return s.respDataErr(ctx, reqID, err)
 		}
 		return appendU64(ok, ts)
 	case opCommit:
@@ -706,7 +778,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 			res, err = so.Commit(ctx.single)
 		}
 		if err != nil {
-			return s.respMaybeExpired(ctx, reqID, err)
+			return s.respDataErr(ctx, reqID, err)
 		}
 		s.tapCommit(&ctx.single, res)
 		return encodeCommitResult(ok, res)
@@ -724,7 +796,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		}
 		results, err := so.CommitBatchInto(reqs, ctx.results)
 		if err != nil {
-			return respError(reqID, err)
+			return s.respDataErr(ctx, reqID, err)
 		}
 		ctx.results = results
 		for i := range reqs {
@@ -737,7 +809,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 			return respError(reqID, err)
 		}
 		if err := so.Abort(ts); err != nil {
-			return respError(reqID, err)
+			return s.respDataErr(ctx, reqID, err)
 		}
 		return ok
 	case opQuery:
@@ -753,7 +825,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 			}
 			st, err = c.submit(ts, deadline, sp)
 			if err != nil {
-				return s.respMaybeExpired(ctx, reqID, err)
+				return s.respDataErr(ctx, reqID, err)
 			}
 		} else {
 			st = so.Query(ts)
@@ -816,7 +888,7 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 		}
 		lo, err := so.BeginBlock(int(n))
 		if err != nil {
-			return respError(reqID, err)
+			return s.respDataErr(ctx, reqID, err)
 		}
 		return appendU64(ok, lo)
 	case opForget:
@@ -891,18 +963,38 @@ func (s *Server) handle(ctx *handlerCtx, reqID uint64, op byte, payload []byte, 
 	}
 }
 
-// respMaybeExpired renders a coalescer error: a request the batcher dropped
-// at batch-cut time because its deadline passed answers codeExpired (built
-// into the pooled context — expiry under overload is a steady-state path, so
-// it must not allocate); anything else is a plain error reply.
-func (s *Server) respMaybeExpired(ctx *handlerCtx, reqID uint64, err error) []byte {
+// respDataErr renders a data-path oracle error: a request the batcher
+// dropped at batch-cut time because its deadline passed answers codeExpired
+// (built into the pooled context — expiry under overload is a steady-state
+// path, so it must not allocate); an append that failed the epoch fence —
+// this member was deposed while the request was in flight — answers
+// codeNotLeader so the client follows the new leader; anything else is a
+// plain error reply.
+func (s *Server) respDataErr(ctx *handlerCtx, reqID uint64, err error) []byte {
 	if errors.Is(err, oracle.ErrExpired) {
 		if s.adm != nil {
 			s.adm.tenants[ctx.span.Tenant].expired.Add(1)
 		}
 		return appendRespHdr(ctx.resp[:0], reqID, codeExpired)
 	}
+	if errors.Is(err, wal.ErrFenced) {
+		return s.respNotLeader(reqID, err)
+	}
 	return respError(reqID, err)
+}
+
+// respNotLeader renders a request this member cannot serve because it is
+// not the group's leader. With a LeaderHint configured (and a known
+// leader), the reply carries the redirect payload; otherwise the fallback
+// error is sent plainly, preserving the pre-group standby behavior.
+func (s *Server) respNotLeader(reqID uint64, fallback error) []byte {
+	if s.LeaderHint != nil {
+		if epoch, addr := s.LeaderHint(); addr != "" {
+			body := appendRespHdr(make([]byte, 0, 9+8+len(addr)), reqID, codeNotLeader)
+			return appendRoutingPayload(body, epoch, addr)
+		}
+	}
+	return respError(reqID, fallback)
 }
 
 // ErrMisrouted reports rows sent to a partition that does not own them.

@@ -322,6 +322,15 @@ func (s *StatusOracle) QueryBatchInto(startTSs []uint64, scratch []TxnStatus) []
 	return out
 }
 
+// Err returns the latched infrastructure failure: non-nil once the oracle
+// has entered fail-fast mode (a mid-batch WAL loss, or a fence — a
+// successor sealed the log and took over), nil while healthy. Supervisors
+// poll it to notice deposition without issuing a commit.
+func (s *StatusOracle) Err() error {
+	err, _ := s.failed.Load().(error)
+	return err
+}
+
 // Subscribe registers for commit/abort notifications; clients use the
 // stream to maintain a local replica of the commit table (§2.2, the
 // implementation option the paper's experiments use).

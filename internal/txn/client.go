@@ -16,6 +16,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -66,6 +67,16 @@ type Forgetting interface {
 // without it are in-process, where Query is authoritative.
 type StatusResolver interface {
 	ResolveStatus(startTS uint64) (oracle.TxnStatus, error)
+}
+
+// StatusResolverCtx is the context-aware refinement of StatusResolver
+// (netsrv.Client implements both): the resolver honors the context's
+// deadline across server-side parking and client-side reconnection
+// backoff. With Config.SettleTimeout set, the commit path settles in-doubt
+// commits through it so a group election in progress cannot block a commit
+// caller longer than the configured bound.
+type StatusResolverCtx interface {
+	ResolveStatusCtx(ctx context.Context, startTS uint64) (oracle.TxnStatus, error)
 }
 
 // CommitInfoMode selects how readers resolve commit timestamps (§2.2).
@@ -143,6 +154,13 @@ type Config struct {
 	// The sampling decision is made once per transaction at Begin; an
 	// unsampled transaction pays one atomic load and nothing else.
 	Tap *history.Tap
+	// SettleTimeout bounds how long a failed commit submission may block
+	// in in-doubt settlement (the status lookup against the possibly
+	// re-elected oracle). Zero waits as long as the resolver does; it only
+	// takes effect with an arbiter implementing StatusResolverCtx. On
+	// timeout the transaction stays in doubt and the original submission
+	// error surfaces.
+	SettleTimeout time.Duration
 }
 
 // Client runs transactions. Create one per process; it is safe for
@@ -352,6 +370,12 @@ func (c *Client) forget(startTS uint64) {
 // submission. ok is false when no authoritative answer could be obtained
 // (the transaction stays in doubt).
 func (c *Client) resolveFate(startTS uint64) (oracle.TxnStatus, bool) {
+	if rc, isCtx := c.so.(StatusResolverCtx); isCtx && c.cfg.SettleTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SettleTimeout)
+		defer cancel()
+		st, err := rc.ResolveStatusCtx(ctx, startTS)
+		return st, err == nil
+	}
 	if r, isResolver := c.so.(StatusResolver); isResolver {
 		st, err := r.ResolveStatus(startTS)
 		return st, err == nil

@@ -1,8 +1,10 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/oracle"
@@ -111,6 +113,65 @@ func TestFailoverInDoubtCommitUnresolvableKeepsWrites(t *testing.T) {
 	tx2 := begin(t, c)
 	if v, ok := get(t, tx2, "k"); !ok || v != "v" {
 		t.Fatalf("landed commit lost: %q %v", v, ok)
+	}
+}
+
+// slowResolver is an arbiter whose context-aware settlement blocks until
+// the context expires — the shape of an election still in progress.
+type slowResolver struct {
+	flakyArbiter
+	settles chan struct{} // receives one token per settlement attempt
+}
+
+func (s *slowResolver) ResolveStatusCtx(ctx context.Context, startTS uint64) (oracle.TxnStatus, error) {
+	select {
+	case s.settles <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return oracle.TxnStatus{}, ctx.Err()
+}
+
+// TestFailoverSettleLeaseTimeoutBoundsInDoubt: with SettleTimeout set and a
+// context-aware resolver that cannot answer (mid-election), the commit
+// surfaces the original transport error after the bound instead of blocking
+// indefinitely — and the tentative writes stay, as for any unresolved
+// in-doubt commit.
+func TestFailoverSettleLeaseTimeoutBoundsInDoubt(t *testing.T) {
+	so, err := oracle.New(oracle.Config{Engine: oracle.SI, TSO: tso.New(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := &slowResolver{flakyArbiter: flakyArbiter{so: so}, settles: make(chan struct{}, 1)}
+	store := kvstore.New(kvstore.Config{})
+	c, err := NewClient(store, sr, Config{SettleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	tx := begin(t, c)
+	put(t, tx, "k", "v")
+	sr.dropAck = true
+	start := time.Now()
+	err = tx.Commit()
+	elapsed := time.Since(start)
+	if !errors.Is(err, errConnLost) {
+		t.Fatalf("timed-out settlement returned %v, want the original transport error", err)
+	}
+	select {
+	case <-sr.settles:
+	default:
+		t.Fatalf("SettleTimeout path never consulted the context-aware resolver")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("settlement blocked %v despite a 50ms SettleTimeout", elapsed)
+	}
+	if tx.Committed() {
+		t.Fatalf("unresolved transaction marked committed")
+	}
+	if got := store.Get("k", ^uint64(0), 0); len(got) == 0 {
+		t.Fatalf("tentative write of an in-doubt commit was deleted")
 	}
 }
 

@@ -15,9 +15,10 @@ import (
 // configurable append latency models the network+fsync round trip, and a
 // fail hook supports fault-injection tests.
 type MemLedger struct {
-	mu      sync.Mutex
-	batches [][]byte
-	sealed  bool
+	mu        sync.Mutex
+	batches   [][]byte
+	sealed    bool
+	sealEpoch uint64
 
 	// Latency is slept on every AppendBatch, modelling the remote write.
 	// Concurrent appends overlap their sleeps, so Latency alone delays acks
@@ -76,6 +77,30 @@ func (m *MemLedger) Seal() error {
 	return nil
 }
 
+// SealEpoch fences the ledger with an epoch-numbered seal. The ledger
+// grants each epoch at most once: a proposal at or below the current seal
+// epoch fails with ErrEpochSuperseded, which is what serializes dueling
+// election candidates (only one can newly seal a quorum at a given epoch).
+// A strictly higher proposal upgrades the seal, so a later candidate can
+// recover from a winner that died before installing its epoch.
+func (m *MemLedger) SealEpoch(epoch uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sealed && epoch <= m.sealEpoch {
+		return fmt.Errorf("%w: sealed at epoch %d, proposed %d", ErrEpochSuperseded, m.sealEpoch, epoch)
+	}
+	m.sealed = true
+	m.sealEpoch = epoch
+	return nil
+}
+
+// SealedEpoch returns the current seal's epoch (0 = unsealed or legacy).
+func (m *MemLedger) SealedEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealEpoch
+}
+
 // Sealed reports whether the ledger has been fenced.
 func (m *MemLedger) Sealed() bool {
 	m.mu.Lock()
@@ -121,20 +146,24 @@ func (m *MemLedger) Corrupt(i int) error {
 // single-machine deployments of cmd/oracle-server. Batches are stored as
 // [8-byte length][payload] records; a length of sealMarker fences the file.
 type FileLedger struct {
-	mu      sync.Mutex
-	f       *os.File
-	offsets []int64 // start offset of each batch
-	sizes   []int64
-	end     int64
-	sync    bool
-	sealed  bool
-	reader  bool   // opened read-only: never truncate, Refresh allowed
-	wbuf    []byte // header+payload staging so each append is one WriteAt
+	mu        sync.Mutex
+	f         *os.File
+	offsets   []int64 // start offset of each batch
+	sizes     []int64
+	end       int64
+	sync      bool
+	sealed    bool
+	sealOff   int64  // offset of the seal marker, valid when sealed
+	sealEpoch uint64 // epoch word following the marker (0 = legacy seal)
+	reader    bool   // opened read-only: never truncate, Refresh allowed
+	wbuf      []byte // header+payload staging so each append is one WriteAt
 }
 
 // sealMarker is the batch-length value that marks a sealed file: no real
 // batch can be that large, and a writer that finds it at its append offset
-// knows a successor has fenced the log.
+// knows a successor has fenced the log. An epoch-numbered seal follows the
+// marker with one more 8-byte word holding the epoch; a legacy seal ends
+// at the marker and reads as epoch 0.
 const sealMarker = ^uint64(0)
 
 // flockEx/flockSh/funlock wrap the advisory file lock that makes the
@@ -213,7 +242,16 @@ func (l *FileLedger) scan() error {
 		n := binary.BigEndian.Uint64(hdr[:])
 		if n == sealMarker {
 			l.sealed = true
+			l.sealOff = off
 			off += 8
+			if off+8 <= size {
+				var eb [8]byte
+				if _, err := l.f.ReadAt(eb[:], off); err != nil {
+					return err
+				}
+				l.sealEpoch = binary.BigEndian.Uint64(eb[:])
+				off += 8
+			}
 			break
 		}
 		if off+8+int64(n) > size {
@@ -323,9 +361,93 @@ func (l *FileLedger) Seal() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.sealOff = l.end
 	l.end += 8
 	l.sealed = true
 	return nil
+}
+
+// SealEpoch durably fences the file with an epoch-numbered seal record
+// ([marker][epoch], fsynced). Like Seal, it runs under the exclusive file
+// lock and rescans first, so it composes with concurrent appends and
+// seals from other processes. The ledger grants each epoch at most once:
+// a proposal at or below the current seal epoch — whether placed by this
+// process or read back from a marker another candidate wrote — fails with
+// ErrEpochSuperseded, and a strictly higher proposal upgrades the epoch
+// word in place.
+func (l *FileLedger) SealEpoch(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := flockEx(l.f); err != nil {
+		return err
+	}
+	defer funlock(l.f)
+	if !l.sealed {
+		if err := l.scan(); err != nil {
+			return err
+		}
+	} else if err := l.rereadSealEpoch(); err != nil {
+		// Another handle may have upgraded the epoch word since our scan.
+		return err
+	}
+	if l.sealed {
+		if epoch <= l.sealEpoch {
+			return fmt.Errorf("%w: sealed at epoch %d, proposed %d", ErrEpochSuperseded, l.sealEpoch, epoch)
+		}
+		var eb [8]byte
+		binary.BigEndian.PutUint64(eb[:], epoch)
+		if _, err := l.f.WriteAt(eb[:], l.sealOff+8); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if l.sealOff+16 > l.end {
+			l.end = l.sealOff + 16
+		}
+		l.sealEpoch = epoch
+		return nil
+	}
+	var rec [16]byte
+	binary.BigEndian.PutUint64(rec[0:8], sealMarker)
+	binary.BigEndian.PutUint64(rec[8:16], epoch)
+	if _, err := l.f.WriteAt(rec[:], l.end); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.sealOff = l.end
+	l.end += 16
+	l.sealed = true
+	l.sealEpoch = epoch
+	return nil
+}
+
+// rereadSealEpoch refreshes l.sealEpoch from the epoch word on disk.
+// Caller holds l.mu and the file lock, and l.sealed is true.
+func (l *FileLedger) rereadSealEpoch() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return err
+	}
+	if l.sealOff+16 <= info.Size() {
+		var eb [8]byte
+		if _, err := l.f.ReadAt(eb[:], l.sealOff+8); err != nil {
+			return err
+		}
+		if e := binary.BigEndian.Uint64(eb[:]); e > l.sealEpoch {
+			l.sealEpoch = e
+		}
+	}
+	return nil
+}
+
+// SealedEpoch returns the current seal's epoch (0 = unsealed or legacy).
+func (l *FileLedger) SealedEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealEpoch
 }
 
 // Sealed reports whether the ledger has been fenced.

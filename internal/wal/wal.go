@@ -47,6 +47,13 @@ var (
 	// successor has taken over the log, so acknowledging further appends
 	// could double-ack a commit the successor never saw.
 	ErrFenced = errors.New("wal: writer fenced by ledger seal")
+	// ErrEpochSuperseded is returned by SealEpoch when the ledger already
+	// carries a seal at an equal or higher epoch: another candidate won
+	// that epoch's election on this replica. Because each ledger accepts a
+	// given epoch at most once, two candidates proposing the same epoch can
+	// never both assemble a quorum of fresh seals — the seal itself is the
+	// election's serialization point.
+	ErrEpochSuperseded = errors.New("wal: seal epoch superseded")
 )
 
 // Sealer is implemented by ledgers that support fencing.
@@ -65,6 +72,33 @@ func Seal(l Ledger) error {
 		return fmt.Errorf("wal: ledger %T is not sealable", l)
 	}
 	return s.Seal()
+}
+
+// EpochSealer is implemented by ledgers whose seal carries an election
+// epoch. The epoch is the fencing token of the self-healing oracle group:
+// a candidate for epoch e fences the previous epoch's ledgers by sealing
+// them at e, and the ledger arbitrates — a proposal at or below the
+// current seal epoch fails with ErrEpochSuperseded.
+type EpochSealer interface {
+	// SealEpoch fences the ledger with an epoch-numbered seal. It succeeds
+	// only when epoch is strictly higher than the ledger's current seal
+	// epoch (an unsealed ledger counts as epoch 0), so each epoch is
+	// granted at most once per ledger; otherwise ErrEpochSuperseded.
+	SealEpoch(epoch uint64) error
+	// SealedEpoch returns the epoch of the current seal: 0 when the ledger
+	// is unsealed or was sealed without an epoch (legacy Seal).
+	SealedEpoch() uint64
+}
+
+// SealEpoch fences a ledger with an epoch-numbered seal. Ledgers without
+// epoch support fall back to a plain Seal — the fence still holds, but
+// such ledgers cannot arbitrate between dueling candidates, so automatic
+// election requires EpochSealer replicas.
+func SealEpoch(l Ledger, epoch uint64) error {
+	if es, ok := l.(EpochSealer); ok {
+		return es.SealEpoch(epoch)
+	}
+	return Seal(l)
 }
 
 // Config parameterizes the batching and replication policy.
@@ -551,4 +585,38 @@ func (t *Tailer) Next() (entry []byte, ok bool, err error) {
 		t.entries = entries
 		t.idx = 0
 	}
+}
+
+// Lag counts the entries between the tailer's position and the ledger's
+// current end: decoded-but-unreturned entries plus the contents of unread
+// batches. It is a control-plane helper for staleness gauges — cost is
+// proportional to the backlog. maxBatches bounds the walk (0 = unbounded);
+// when the bound truncates it, the count is a lower bound. Not safe for
+// use concurrent with Next; callers serialize externally.
+func (t *Tailer) Lag(maxBatches int) (int, error) {
+	lag := len(t.entries) - t.idx
+	if r, ok := t.l.(Refresher); ok {
+		if err := r.Refresh(); err != nil {
+			return lag, err
+		}
+	}
+	n, err := t.l.NumBatches()
+	if err != nil {
+		return lag, err
+	}
+	for i := t.next; i < n; i++ {
+		if maxBatches > 0 && i-t.next >= maxBatches {
+			break
+		}
+		batch, err := t.l.ReadBatch(i)
+		if err != nil {
+			return lag, err
+		}
+		entries, err := DecodeBatch(batch)
+		if err != nil {
+			return lag, err
+		}
+		lag += len(entries)
+	}
+	return lag, nil
 }
